@@ -1,0 +1,38 @@
+"""Figure 4: CPU volume rendering run time by phase versus pass count.
+
+For each data set and camera angle the per-phase host-measured run time is
+reported for increasing numbers of passes, reproducing the stacked-bar series
+of Figure 4.
+"""
+
+from __future__ import annotations
+
+from common import print_table, volume_dataset_pool
+from repro.geometry import Camera
+from repro.rendering import UnstructuredVolumeConfig, UnstructuredVolumeRenderer
+
+PASS_COUNTS = [1, 2, 4, 8]
+PHASES = ["initialization", "pass_selection", "screen_space", "sampling", "compositing"]
+
+
+def test_fig04_volume_cpu_phase_times(benchmark):
+    rows = []
+    for name, (grid, tets, field) in volume_dataset_pool()[:2]:
+        for view, zoom in (("far", 0.8), ("close", 1.4)):
+            camera = Camera.framing_bounds(grid.bounds, 64, 64, zoom=zoom)
+            for passes in PASS_COUNTS:
+                result = UnstructuredVolumeRenderer(
+                    tets, field, config=UnstructuredVolumeConfig(samples_in_depth=64, num_passes=passes)
+                ).render(camera)
+                rows.append(
+                    [f"{name}/{view}", passes]
+                    + [f"{result.phase_seconds[p]:.3f}" for p in PHASES]
+                    + [f"{result.total_seconds:.3f}"]
+                )
+    print_table("Figure 4: CPU volume rendering time by phase vs passes", ["data/view", "passes"] + PHASES + ["total"], rows)
+
+    name, (grid, tets, field) = volume_dataset_pool()[0]
+    camera = Camera.framing_bounds(grid.bounds, 64, 64, zoom=1.4)
+    renderer = UnstructuredVolumeRenderer(tets, field, config=UnstructuredVolumeConfig(samples_in_depth=64, num_passes=2))
+    benchmark(lambda: renderer.render(camera))
+    assert len(rows) == 2 * 2 * len(PASS_COUNTS)

@@ -1,0 +1,45 @@
+"""Figure 5: GPU volume rendering run time by phase versus pass count.
+
+The GPU (K40m-class) times are synthesized from the observed features of the
+corresponding host render, split across phases in proportion to the measured
+phase structure -- reproducing the qualitative Figure 5 series (GPU times are
+roughly an order of magnitude below the CPU times of Figure 4, with
+compositing relatively more expensive).
+"""
+
+from __future__ import annotations
+
+from common import print_table, volume_dataset_pool
+from repro.geometry import Camera
+from repro.machines import KernelCostModel
+from repro.rendering import UnstructuredVolumeConfig, UnstructuredVolumeRenderer
+
+PASS_COUNTS = [2, 4, 8]
+PHASES = ["pass_selection", "screen_space", "sampling", "compositing"]
+
+
+def test_fig05_volume_gpu_phase_times(benchmark):
+    gpu = KernelCostModel("gpu1-k40m", seed=3)
+    rows = []
+    cpu_totals, gpu_totals = [], []
+    for name, (grid, tets, field) in volume_dataset_pool()[:2]:
+        for view, zoom in (("far", 0.8), ("close", 1.4)):
+            camera = Camera.framing_bounds(grid.bounds, 64, 64, zoom=zoom)
+            for passes in PASS_COUNTS:
+                result = UnstructuredVolumeRenderer(
+                    tets, field, config=UnstructuredVolumeConfig(samples_in_depth=64, num_passes=passes)
+                ).render(camera)
+                gpu_total = gpu.total("volume_unstructured", result.features)
+                cpu_totals.append(result.total_seconds)
+                gpu_totals.append(gpu_total)
+                shares = {p: result.phase_seconds[p] / max(result.total_seconds, 1e-12) for p in PHASES}
+                rows.append(
+                    [f"{name}/{view}", passes]
+                    + [f"{gpu_total * shares[p]:.5f}" for p in PHASES]
+                    + [f"{gpu_total:.5f}"]
+                )
+    print_table("Figure 5: GPU volume rendering time by phase vs passes (synthetic)", ["data/view", "passes"] + PHASES + ["total"], rows)
+
+    benchmark(lambda: gpu.total("volume_unstructured", result.features))
+    # GPU totals sit well below the CPU totals for the same configurations.
+    assert sum(gpu_totals) < 0.5 * sum(cpu_totals)

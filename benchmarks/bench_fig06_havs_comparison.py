@@ -1,0 +1,41 @@
+"""Figure 6: DPP volume renderer versus HAVS (projected tetrahedra) run times.
+
+Reproduces the two panels of Figure 6 (zoomed-out and close-up views over the
+data-set pool).  The expected shape: HAVS run time tracks data size closely,
+while the sampling renderer tracks the number of samples (so it is relatively
+better zoomed out, relatively worse zoomed in).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import print_table, volume_dataset_pool
+from repro.geometry import Camera
+from repro.rendering import UnstructuredVolumeConfig, UnstructuredVolumeRenderer
+from repro.rendering.baselines import ProjectedTetrahedraRenderer
+
+
+def test_fig06_dpp_vs_havs(benchmark):
+    rows = []
+    havs_times, havs_cells = [], []
+    for name, (grid, tets, field) in volume_dataset_pool():
+        for view, zoom in (("far", 0.8), ("close", 1.4)):
+            camera = Camera.framing_bounds(grid.bounds, 64, 64, zoom=zoom)
+            dpp = UnstructuredVolumeRenderer(
+                tets, field, config=UnstructuredVolumeConfig(samples_in_depth=60, num_passes=2)
+            ).render(camera)
+            havs = ProjectedTetrahedraRenderer(tets, field).render(camera)
+            rows.append([f"{name}/{view}", tets.num_cells, f"{dpp.total_seconds:.3f}", f"{havs.total_seconds:.3f}"])
+            if view == "close":
+                havs_times.append(havs.total_seconds)
+                havs_cells.append(tets.num_cells)
+    print_table("Figure 6: DPP-VR vs HAVS-proxy run times", ["data/view", "tets", "DPP-VR", "HAVS"], rows)
+
+    name, (grid, tets, field) = volume_dataset_pool()[0]
+    camera = Camera.framing_bounds(grid.bounds, 64, 64, zoom=1.4)
+    havs = ProjectedTetrahedraRenderer(tets, field)
+    benchmark(lambda: havs.render(camera))
+    # HAVS run time correlates strongly with data size (the paper's observation).
+    correlation = np.corrcoef(havs_cells, havs_times)[0, 1]
+    assert correlation > 0.6

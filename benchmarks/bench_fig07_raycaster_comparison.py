@@ -1,0 +1,50 @@
+"""Figure 7: DPP volume renderer versus the unstructured (Bunyk-style) ray caster.
+
+Reproduces Figure 7's two view panels.  The expected trend: the DPP sampler is
+faster on larger data sets (the connectivity ray caster's per-cell costs are
+not amortised), with mixed results on small data.
+"""
+
+from __future__ import annotations
+
+from common import print_table, volume_dataset_pool
+from repro.geometry import Camera
+from repro.rendering import UnstructuredVolumeConfig, UnstructuredVolumeRenderer
+from repro.rendering.baselines import ConnectivityRayCaster
+
+
+def test_fig07_dpp_vs_bunyk(benchmark):
+    rows = []
+    largest_ratio = None
+    pool = volume_dataset_pool()
+    for index, (name, (grid, tets, field)) in enumerate(pool):
+        for view, zoom in (("far", 0.8), ("close", 1.4)):
+            camera = Camera.framing_bounds(grid.bounds, 64, 64, zoom=zoom)
+            dpp = UnstructuredVolumeRenderer(
+                tets, field, config=UnstructuredVolumeConfig(samples_in_depth=60, num_passes=2)
+            ).render(camera)
+            caster = ConnectivityRayCaster(tets, field, samples_in_depth=60)
+            bunyk = caster.render(camera)
+            rows.append(
+                [
+                    f"{name}/{view}",
+                    tets.num_cells,
+                    f"{dpp.total_seconds:.3f}",
+                    f"{bunyk.total_seconds:.3f}",
+                    f"{caster.preprocess_seconds:.3f} (excluded)",
+                ]
+            )
+            if index == len(pool) - 1 and view == "close":
+                largest_ratio = bunyk.total_seconds / max(dpp.total_seconds, 1e-12)
+    print_table(
+        "Figure 7: DPP-VR vs Bunyk-proxy ray caster run times",
+        ["data/view", "tets", "DPP-VR", "Ray-Caster", "pre-process"],
+        rows,
+    )
+
+    name, (grid, tets, field) = pool[0]
+    camera = Camera.framing_bounds(grid.bounds, 64, 64, zoom=1.4)
+    caster = ConnectivityRayCaster(tets, field, samples_in_depth=60)
+    caster.preprocess()
+    benchmark(lambda: caster.render(camera))
+    assert largest_ratio is not None and largest_ratio > 0

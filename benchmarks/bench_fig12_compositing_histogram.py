@@ -1,0 +1,35 @@
+"""Figure 12: histogram of image compositing time versus MPI tasks and pixels.
+
+Reproduces the two trends of Figure 12: more pixels cost more time, and (over
+the studied task range) more tasks make compositing *faster* because each
+task's active-pixel share shrinks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import print_table
+from repro.modeling.study import StudyConfiguration, StudyHarness
+
+
+def test_fig12_compositing_histogram(benchmark):
+    harness = StudyHarness(StudyConfiguration(seed=7))
+    records = harness.run_compositing_sweep(
+        task_counts=(2, 4, 8, 16, 32), pixel_sizes=(64, 96, 128, 192), algorithm="radix-k"
+    )
+
+    rows = []
+    by_tasks: dict[int, list[float]] = {}
+    by_pixels: dict[int, list[float]] = {}
+    for record in records:
+        rows.append([record.num_tasks, record.pixels, int(record.average_active_pixels), f"{record.seconds:.5f}s"])
+        by_tasks.setdefault(record.num_tasks, []).append(record.seconds)
+        by_pixels.setdefault(record.pixels, []).append(record.seconds)
+    print_table("Figure 12: compositing time by tasks and pixels", ["tasks", "pixels", "avg active px", "time"], rows)
+
+    benchmark(lambda: harness.run_compositing_sweep(task_counts=(4,), pixel_sizes=(96,)))
+
+    # Dominant trend: more pixels -> slower.
+    pixel_keys = sorted(by_pixels)
+    assert np.mean(by_pixels[pixel_keys[-1]]) > np.mean(by_pixels[pixel_keys[0]])

@@ -1,0 +1,57 @@
+"""Figure 15: ray tracing versus rasterization heat map.
+
+Predicts the cost of 100 renderings for both techniques over a grid of image
+sizes and data sizes (32 tasks, GPU architecture) and prints the ratio matrix.
+Values above one mean ray tracing is faster.  The paper's headline shape: ray
+tracing wins decisively at small images with large geometry; rasterization
+wins modestly at large images.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import print_table
+from repro.modeling.feasibility import raytracing_vs_rasterization
+
+IMAGE_SIZES = np.array([384, 768, 1152, 1920, 2688, 4096])
+DATA_SIZES = np.array([100, 200, 300, 400, 500])
+
+
+def test_fig15_raytracing_vs_rasterization(benchmark, fitted_models):
+    heat = raytracing_vs_rasterization(
+        fitted_models[("gpu1-k40m", "raytrace")],
+        fitted_models[("gpu1-k40m", "raster")],
+        "gpu1-k40m",
+        num_tasks=32,
+        num_renderings=100,
+        image_sizes=IMAGE_SIZES,
+        data_sizes=DATA_SIZES,
+    )
+    ratio = heat["ratio"]
+    rows = [
+        [f"{cells}^3"] + [f"{ratio[row, column]:.2f}" for column in range(len(IMAGE_SIZES))]
+        for row, cells in enumerate(DATA_SIZES)
+    ]
+    print_table(
+        "Figure 15: rasterization time / ray-tracing time (100 renderings, 32 tasks, GPU)",
+        ["data size"] + [f"{size}^2" for size in IMAGE_SIZES],
+        rows,
+    )
+
+    benchmark(
+        lambda: raytracing_vs_rasterization(
+            fitted_models[("gpu1-k40m", "raytrace")],
+            fitted_models[("gpu1-k40m", "raster")],
+            "gpu1-k40m",
+            image_sizes=IMAGE_SIZES[:2],
+            data_sizes=DATA_SIZES[:2],
+        )
+    )
+    # Headline shape: ray tracing wins at small image + large data,
+    # rasterization wins at large image + small data.
+    assert ratio[-1, 0] > 1.0
+    assert ratio[0, -1] < 1.0
+    # Monotone trends along both axes.
+    assert np.all(np.diff(ratio, axis=0).mean(axis=1) >= -0.05)
+    assert np.all(np.diff(ratio, axis=1).mean(axis=0) <= 0.05)

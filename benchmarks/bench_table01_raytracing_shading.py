@@ -1,0 +1,36 @@
+"""Table 1: ray tracing frames per second with shading (WORKLOAD2).
+
+Rows are data sets, columns are devices.  The host render supplies observed
+model inputs; per-device FPS at full scale comes from the synthetic cost
+model (see DESIGN.md for the hardware substitution).
+"""
+
+from __future__ import annotations
+
+from common import observed_surface_features, print_table, surface_scene_pool, synthetic_fps
+
+DEVICES = ["gpu-titan-black", "gpu-k40-maverick", "gpu-750ti", "gpu-620m", "cpu-i7-4770k", "cpu-xeon-e5-2680"]
+
+
+def test_table01_raytracing_shading_fps(benchmark):
+    pool = surface_scene_pool()
+    features = {entry.name: observed_surface_features(entry) for entry in pool}
+
+    rows = []
+    for entry in pool:
+        fps = [f"{synthetic_fps(device, features[entry.name], 'raytrace'):.1f}" for device in DEVICES]
+        rows.append([entry.name, entry.num_triangles] + fps)
+    print_table("Table 1: ray tracing FPS with shading (WORKLOAD2)", ["dataset", "triangles"] + DEVICES, rows)
+
+    # Benchmark the host-measured shaded render of the largest scene.
+    from repro.rendering import RayTracer, RayTracerConfig, Workload
+
+    entry = pool[0]
+    tracer = RayTracer(entry.scene, RayTracerConfig(workload=Workload.SHADING))
+    tracer.build_acceleration_structure()
+    benchmark(lambda: tracer.render(entry.camera))
+
+    # Sanity: GPUs outrun CPUs, and FPS drops as triangle count grows (per device).
+    big, small = features[pool[0].name], features[pool[2].name]
+    assert synthetic_fps("gpu-titan-black", big) > synthetic_fps("cpu-i7-4770k", big)
+    assert synthetic_fps("gpu-titan-black", small) >= synthetic_fps("gpu-titan-black", big) * 0.8

@@ -1,0 +1,40 @@
+"""Table 2: ray tracing frames per second with all features (WORKLOAD3).
+
+The full workload adds ambient occlusion, shadows, anti-aliasing, and stream
+compaction; the paper reports roughly a 4-6x slowdown relative to plain
+shading.  The benchmark measures that ratio on the host renderer and reports
+per-device full-scale FPS through the cost model scaled by the same ratio.
+"""
+
+from __future__ import annotations
+
+from common import observed_surface_features, print_table, surface_scene_pool, synthetic_fps
+from repro.rendering import RayTracer, RayTracerConfig, Workload
+
+DEVICES = ["cpu-xeon-e5-2680", "gpu-titan-black"]
+
+
+def test_table02_raytracing_full_fps(benchmark):
+    pool = surface_scene_pool()[:4]
+    rows = []
+    ratios = []
+    for entry in pool:
+        shaded = RayTracer(entry.scene, RayTracerConfig(workload=Workload.SHADING)).render(entry.camera)
+        full = RayTracer(entry.scene, RayTracerConfig(workload=Workload.FULL)).render(entry.camera)
+        ratio = full.seconds_excluding("bvh_build") / max(shaded.seconds_excluding("bvh_build"), 1e-12)
+        ratios.append(ratio)
+        fps = [f"{synthetic_fps(device, shaded.features, 'raytrace') / ratio:.1f}" for device in DEVICES]
+        rows.append([entry.name, entry.num_triangles, f"{ratio:.2f}x"] + fps)
+    print_table(
+        "Table 2: ray tracing FPS with the full workload (WORKLOAD3)",
+        ["dataset", "triangles", "full/shaded cost"] + DEVICES,
+        rows,
+    )
+
+    entry = pool[-1]
+    tracer = RayTracer(entry.scene, RayTracerConfig(workload=Workload.FULL, ao_samples=2))
+    tracer.build_acceleration_structure()
+    benchmark(lambda: tracer.render(entry.camera))
+
+    # The full workload must cost more than plain shading (paper: ~4-6x).
+    assert min(ratios) > 1.5

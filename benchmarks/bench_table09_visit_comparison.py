@@ -1,0 +1,46 @@
+"""Table 9: DPP volume renderer versus the VisIt-style sampling renderer (per-phase times).
+
+Both renderers run in "serial" conditions on the host; the table reports the
+screen-space (SS), sampling (S), compositing (C), and total (TOT) columns of
+the paper's Table 9 for each data set and view.
+"""
+
+from __future__ import annotations
+
+from common import print_table, volume_dataset_pool
+from repro.geometry import Camera
+from repro.rendering import UnstructuredVolumeConfig, UnstructuredVolumeRenderer
+from repro.rendering.baselines import VisItStyleSampler
+
+
+def test_table09_dpp_vs_visit(benchmark):
+    rows = []
+    dpp_wins_large = None
+    for index, (name, (grid, tets, field)) in enumerate(volume_dataset_pool()):
+        for view, zoom in (("far", 0.8), ("close", 1.4)):
+            camera = Camera.framing_bounds(grid.bounds, 64, 64, zoom=zoom)
+            dpp = UnstructuredVolumeRenderer(
+                tets, field, config=UnstructuredVolumeConfig(samples_in_depth=60, num_passes=1)
+            ).render(camera)
+            visit = VisItStyleSampler(tets, field, samples_in_depth=60).render(camera)
+            for label, result in (("VisIt", visit), ("DPP-VR", dpp)):
+                rows.append(
+                    [
+                        f"{name}/{view}",
+                        label,
+                        f"{result.phase_seconds.get('screen_space', 0.0):.3f}",
+                        f"{result.phase_seconds.get('sampling', 0.0):.3f}",
+                        f"{result.phase_seconds.get('compositing', 0.0):.3f}",
+                        f"{result.total_seconds:.3f}",
+                    ]
+                )
+            if index == len(volume_dataset_pool()) - 1 and view == "far":
+                dpp_wins_large = dpp.total_seconds <= visit.total_seconds * 1.5
+    print_table("Table 9: volume rendering vs the VisIt-style sampler", ["data & view", "SW", "SS", "S", "C", "TOT"], rows)
+
+    name, (grid, tets, field) = volume_dataset_pool()[0]
+    camera = Camera.framing_bounds(grid.bounds, 64, 64, zoom=1.4)
+    renderer = UnstructuredVolumeRenderer(tets, field, config=UnstructuredVolumeConfig(samples_in_depth=60))
+    benchmark(lambda: renderer.render(camera))
+    # On the largest data set the DPP renderer should be at least competitive.
+    assert dpp_wins_large

@@ -1,0 +1,21 @@
+"""Table 12: R-squared values of the six single-node performance models."""
+
+from __future__ import annotations
+
+from common import print_table
+
+
+def test_table12_model_r_squared(benchmark, study_corpus, fitted_models):
+    rows = []
+    for technique in ("raytrace", "volume", "raster"):
+        row = [technique]
+        for architecture in ("cpu-host", "gpu1-k40m"):
+            row.append(f"{fitted_models[(architecture, technique)].r_squared:.4f}")
+        rows.append(row)
+    print_table("Table 12: model R^2 by technique and architecture", ["technique", "CPU (host)", "GPU1 (synthetic)"], rows)
+
+    benchmark(lambda: study_corpus.fit_model("gpu1-k40m", "volume"))
+    # Most models capture the bulk of the variance (paper: 5 of 6 above 0.94).
+    values = [fitted_models[key].r_squared for key in fitted_models]
+    assert sum(v > 0.9 for v in values) >= 4
+    assert all(v > 0.5 for v in values)

@@ -1,0 +1,37 @@
+"""Table 13: 3-fold cross-validation accuracy of the six single-node models."""
+
+from __future__ import annotations
+
+from common import print_table
+
+
+def test_table13_crossval_accuracy(benchmark, study_corpus):
+    rows = []
+    summaries = {}
+    for architecture in ("cpu-host", "gpu1-k40m"):
+        for technique in ("raytrace", "volume", "raster"):
+            summary = study_corpus.cross_validate(architecture, technique, k=3, seed=17)
+            summaries[(architecture, technique)] = summary
+            accuracy = summary.accuracy_row()
+            rows.append(
+                [
+                    architecture,
+                    technique,
+                    f"{accuracy['within_50']:.1f}",
+                    f"{accuracy['within_25']:.1f}",
+                    f"{accuracy['within_10']:.1f}",
+                    f"{accuracy['within_5']:.1f}",
+                    f"{accuracy['average_percent']:.1f}",
+                ]
+            )
+    print_table(
+        "Table 13: 3-fold cross-validation accuracy (% of predictions within error bands)",
+        ["architecture", "technique", "50%", "25%", "10%", "5%", "avg err %"],
+        rows,
+    )
+
+    benchmark(lambda: study_corpus.cross_validate("gpu1-k40m", "raster", k=3, seed=17))
+    # Every model predicts within 50% for the overwhelming majority of held-out
+    # points (the paper's worst case was 96%).
+    for summary in summaries.values():
+        assert summary.accuracy_row()["within_50"] >= 70.0

@@ -1,0 +1,28 @@
+"""Table 14: compositing model accuracy (3-fold cross validation)."""
+
+from __future__ import annotations
+
+from common import print_table
+
+
+def test_table14_compositing_accuracy(benchmark, study_corpus, compositing_model):
+    summary = study_corpus.cross_validate_compositing(k=3, seed=23)
+    accuracy = summary.accuracy_row()
+    print_table(
+        "Table 14: compositing model accuracy",
+        ["50%", "25%", "10%", "5%", "avg err %", "R^2 (full fit)"],
+        [[
+            f"{accuracy['within_50']:.1f}",
+            f"{accuracy['within_25']:.1f}",
+            f"{accuracy['within_10']:.1f}",
+            f"{accuracy['within_5']:.1f}",
+            f"{accuracy['average_percent']:.1f}",
+            f"{compositing_model.r_squared:.3f}",
+        ]],
+    )
+
+    benchmark(lambda: study_corpus.fit_compositing_model())
+    # The compositing model is the weakest of the set (paper: 29% average error,
+    # 88% within 50%); require a broadly similar level of usefulness.
+    assert accuracy["within_50"] >= 50.0
+    assert accuracy["average_percent"] <= 80.0

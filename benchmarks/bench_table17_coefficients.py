@@ -1,0 +1,27 @@
+"""Table 17: experimentally determined coefficients of every model."""
+
+from __future__ import annotations
+
+from common import print_table
+
+
+def test_table17_fitted_coefficients(benchmark, study_corpus, fitted_models, compositing_model):
+    rows = []
+    for (architecture, technique), model in sorted(fitted_models.items()):
+        coefficients = model.coefficients
+        rows.append(
+            [technique, architecture]
+            + [f"{value:.3e}" for value in coefficients.values()]
+            + [""] * (5 - len(coefficients))
+        )
+    rows.append(
+        ["compositing", "-"]
+        + [f"{value:.3e}" for value in compositing_model.coefficients.values()]
+        + [""] * 2
+    )
+    print_table("Table 17: fitted model coefficients", ["technique", "architecture", "c0", "c1", "c2", "c3", "c4"], rows)
+
+    benchmark(lambda: study_corpus.fit_all_models())
+    # Every renderer coefficient is non-negative (the paper's validity criterion).
+    for model in fitted_models.values():
+        assert all(value >= 0.0 for value in model.coefficients.values())

@@ -1,0 +1,36 @@
+"""Session-scoped fixtures shared by every benchmark.
+
+The model-fitting benchmarks (Tables 12-17, Figures 11-15) all need the study
+corpus; building it involves dozens of real renders, so it is built once per
+pytest session and reused.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.modeling.study import StudyConfiguration, StudyHarness
+
+
+@pytest.fixture(scope="session")
+def study_corpus():
+    """The default study corpus (host-measured + synthesized GPU experiments)."""
+    config = StudyConfiguration(samples_per_technique=10, seed=2016)
+    return StudyHarness(config).run()
+
+
+@pytest.fixture(scope="session")
+def fitted_models(study_corpus):
+    """All six fitted single-node models keyed by (architecture, technique)."""
+    return study_corpus.fit_all_models()
+
+
+@pytest.fixture(scope="session")
+def compositing_model(study_corpus):
+    """The fitted Eq. 5.5 compositing model."""
+    return study_corpus.fit_compositing_model()

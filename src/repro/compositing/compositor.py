@@ -1,0 +1,180 @@
+"""Compositor front-end: the reproduction's IceT.
+
+:class:`Compositor` takes the per-rank framebuffers produced by the local
+renders, runs one of the exchange algorithms over a simulated communicator,
+and reports both the measured local blending time and the modeled network
+time.  The sum of the two is the ``T_COMP`` quantity of the multi-node
+performance model (Section 5.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compositing.algorithms import binary_swap, direct_send, radix_k
+from repro.compositing.image import SubImage, from_framebuffer
+from repro.rendering.framebuffer import Framebuffer
+from repro.runtime.communicator import NetworkModel, SimulatedCommunicator
+from repro.util.timing import Timer
+
+__all__ = ["CompositeResult", "Compositor"]
+
+_ALGORITHMS = {
+    "direct-send": direct_send,
+    "binary-swap": binary_swap,
+    "radix-k": radix_k,
+}
+
+
+@dataclass
+class CompositeResult:
+    """Outcome of one parallel composite.
+
+    Attributes
+    ----------
+    framebuffer:
+        The final image (assembled at rank 0).
+    local_seconds:
+        Measured wall-clock time spent blending pixels.
+    network_seconds:
+        Network-model estimate of the exchange time (critical path over
+        rounds).
+    bytes_exchanged, messages:
+        Total simulated traffic.
+    merge_operations:
+        Number of pairwise pixel-run merges performed.
+    average_active_pixels:
+        Mean number of active pixels per input sub-image -- the ``avg(AP)``
+        input of the compositing performance model (Eq. 5.5).
+    """
+
+    framebuffer: Framebuffer
+    local_seconds: float
+    network_seconds: float
+    bytes_exchanged: float
+    messages: int
+    merge_operations: int
+    average_active_pixels: float
+    num_tasks: int
+    num_pixels: int
+
+    @property
+    def total_seconds(self) -> float:
+        """Modeled total compositing time (local blending + network)."""
+        return self.local_seconds + self.network_seconds
+
+
+@dataclass
+class Compositor:
+    """Sort-last compositor over a set of per-rank framebuffers.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"radix-k"`` (default, as used in the study), ``"binary-swap"``, or
+        ``"direct-send"``.
+    network:
+        Network cost model for the simulated interconnect.
+    """
+
+    algorithm: str = "radix-k"
+    network: NetworkModel = field(default_factory=NetworkModel)
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in _ALGORITHMS:
+            raise ValueError(
+                f"unknown compositing algorithm {self.algorithm!r}; choose from {sorted(_ALGORITHMS)}"
+            )
+
+    def composite(
+        self,
+        framebuffers: list[Framebuffer],
+        mode: str = "depth",
+        visibility_order: list[float] | None = None,
+        background: tuple[float, float, float, float] = (1.0, 1.0, 1.0, 0.0),
+    ) -> CompositeResult:
+        """Composite one framebuffer per rank into the final image.
+
+        Parameters
+        ----------
+        framebuffers:
+            One full-resolution framebuffer per simulated rank.
+        mode:
+            ``"depth"`` for surface images, ``"over"`` for volume images.
+        visibility_order:
+            Required for ``"over"``: smaller values composite in front
+            (typically each block's distance from the camera).
+        """
+        if not framebuffers:
+            raise ValueError("composite requires at least one framebuffer")
+        if mode == "over":
+            if visibility_order is None:
+                raise ValueError("'over' compositing requires a visibility order")
+            if len(visibility_order) != len(framebuffers):
+                raise ValueError("one visibility order entry per framebuffer is required")
+            # Sort sub-images front to back so that ascending rank index equals
+            # ascending visibility order -- the precondition the exchange
+            # algorithms need for exact OVER compositing (IceT does the same
+            # by pre-ordering its image layers).
+            ranking = np.argsort(np.asarray(visibility_order), kind="stable")
+            sub_images = [
+                from_framebuffer(framebuffers[index], position)
+                for position, index in enumerate(ranking)
+            ]
+        elif mode == "depth":
+            sub_images = [from_framebuffer(framebuffer) for framebuffer in framebuffers]
+        else:
+            raise ValueError(f"unknown compositing mode {mode!r}")
+
+        average_active = float(np.mean([image.active_pixels() for image in sub_images]))
+        comm = SimulatedCommunicator(len(sub_images), self.network)
+        algorithm = _ALGORITHMS[self.algorithm]
+        with Timer() as timer:
+            final, merges = algorithm([image.copy() for image in sub_images], comm, mode)
+        framebuffer = final.to_framebuffer(background)
+        return CompositeResult(
+            framebuffer=framebuffer,
+            local_seconds=timer.elapsed,
+            network_seconds=comm.estimate_time(),
+            bytes_exchanged=comm.total_bytes(),
+            messages=comm.total_messages(),
+            merge_operations=merges,
+            average_active_pixels=average_active,
+            num_tasks=len(sub_images),
+            num_pixels=sub_images[0].num_pixels,
+        )
+
+    @staticmethod
+    def serial_reference(
+        framebuffers: list[Framebuffer],
+        mode: str = "depth",
+        visibility_order: list[float] | None = None,
+    ) -> Framebuffer:
+        """Straightforward serial composite used as the correctness oracle."""
+        if mode == "over":
+            assert visibility_order is not None
+            order = np.argsort(np.asarray(visibility_order), kind="stable")
+            result = framebuffers[order[0]].copy()
+            for index in order[1:]:
+                result = _over(result, framebuffers[index])
+            return result
+        result = framebuffers[0].copy()
+        for framebuffer in framebuffers[1:]:
+            result = result.depth_composite(framebuffer)
+        return result
+
+
+def _over(front: Framebuffer, back: Framebuffer) -> Framebuffer:
+    """Front-to-back OVER of two full framebuffers with straight alpha."""
+    result = Framebuffer(front.width, front.height, tuple(front.background))
+    alpha_front = front.rgba[..., 3:4]
+    alpha_back = back.rgba[..., 3:4]
+    rgb = front.rgba[..., :3] * alpha_front + back.rgba[..., :3] * alpha_back * (1.0 - alpha_front)
+    alpha = alpha_front + alpha_back * (1.0 - alpha_front)
+    safe = np.where(alpha > 0.0, alpha, 1.0)
+    result.rgba[..., :3] = rgb / safe
+    result.rgba[..., 3:4] = alpha
+    result.depth = np.minimum(front.depth, back.depth)
+    return result

@@ -1,0 +1,130 @@
+"""Sub-images and the pixel-merge operators used by every compositing algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rendering.framebuffer import Framebuffer
+
+__all__ = ["SubImage", "composite_pixels", "from_framebuffer"]
+
+
+def composite_pixels(
+    rgba_front_candidate: np.ndarray,
+    depth_a: np.ndarray,
+    rgba_b: np.ndarray,
+    depth_b: np.ndarray,
+    mode: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two pixel runs.
+
+    Parameters
+    ----------
+    rgba_front_candidate, depth_a:
+        First fragment run (``(n, 4)`` straight-alpha colors and ``(n,)``
+        depth / visibility order).
+    rgba_b, depth_b:
+        Second fragment run with the same shapes.
+    mode:
+        ``"depth"`` for nearest-fragment selection (z-buffer), ``"over"`` for
+        front-to-back alpha blending where the fragment with the smaller depth
+        value is in front.
+
+    Returns
+    -------
+    (rgba, depth):
+        The merged fragment run.  For ``"over"`` the returned depth is the
+        minimum of the inputs (the merged fragment is at least as close as
+        its front constituent).
+    """
+    rgba_a = np.asarray(rgba_front_candidate, dtype=np.float64)
+    rgba_b = np.asarray(rgba_b, dtype=np.float64)
+    depth_a = np.asarray(depth_a, dtype=np.float64)
+    depth_b = np.asarray(depth_b, dtype=np.float64)
+    if mode == "depth":
+        take_a = depth_a <= depth_b
+        rgba = np.where(take_a[:, None], rgba_a, rgba_b)
+        depth = np.where(take_a, depth_a, depth_b)
+        return rgba, depth
+    if mode == "over":
+        a_in_front = depth_a <= depth_b
+        front = np.where(a_in_front[:, None], rgba_a, rgba_b)
+        back = np.where(a_in_front[:, None], rgba_b, rgba_a)
+        alpha_front = front[:, 3:4]
+        rgb = front[:, :3] * alpha_front + back[:, :3] * back[:, 3:4] * (1.0 - alpha_front)
+        alpha = front[:, 3] + back[:, 3] * (1.0 - front[:, 3])
+        safe_alpha = np.where(alpha > 0.0, alpha, 1.0)
+        # Store straight (un-premultiplied) color so repeated merges compose.
+        rgba = np.concatenate([rgb / safe_alpha[:, None], alpha[:, None]], axis=1)
+        return rgba, np.minimum(depth_a, depth_b)
+    raise ValueError(f"unknown compositing mode {mode!r}")
+
+
+@dataclass
+class SubImage:
+    """One rank's contribution to the final image.
+
+    Attributes
+    ----------
+    rgba:
+        ``(num_pixels, 4)`` straight-alpha colors (flattened row-major).
+    depth:
+        ``(num_pixels,)`` depth for z-buffer mode, or a constant visibility
+        order for alpha-blend mode.
+    width, height:
+        Full image dimensions (all sub-images cover the full viewport, as in
+        sort-last rendering).
+    """
+
+    rgba: np.ndarray
+    depth: np.ndarray
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        self.rgba = np.asarray(self.rgba, dtype=np.float64)
+        self.depth = np.asarray(self.depth, dtype=np.float64)
+        expected = self.width * self.height
+        if self.rgba.shape != (expected, 4):
+            raise ValueError(f"rgba must have shape ({expected}, 4)")
+        if self.depth.shape != (expected,):
+            raise ValueError(f"depth must have shape ({expected},)")
+
+    @property
+    def num_pixels(self) -> int:
+        return self.width * self.height
+
+    def active_pixels(self) -> int:
+        """Pixels carrying any contribution (non-zero alpha or finite depth)."""
+        return int(np.count_nonzero((self.rgba[:, 3] > 0.0) | np.isfinite(self.depth)))
+
+    def piece(self, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+        """A contiguous pixel run (used by the exchange algorithms)."""
+        return self.rgba[start:stop], self.depth[start:stop]
+
+    def to_framebuffer(self, background: tuple[float, float, float, float] = (1.0, 1.0, 1.0, 0.0)) -> Framebuffer:
+        """Convert back to a :class:`Framebuffer`."""
+        framebuffer = Framebuffer(self.width, self.height, background)
+        framebuffer.rgba = self.rgba.reshape(self.height, self.width, 4).copy()
+        framebuffer.depth = self.depth.reshape(self.height, self.width).copy()
+        return framebuffer
+
+    def copy(self) -> "SubImage":
+        return SubImage(self.rgba.copy(), self.depth.copy(), self.width, self.height)
+
+
+def from_framebuffer(framebuffer: Framebuffer, visibility_order: float | None = None) -> SubImage:
+    """Build a :class:`SubImage` from a rank's framebuffer.
+
+    ``visibility_order`` replaces the per-pixel depth with a constant rank
+    order for alpha-blend (volume) compositing; surface compositing keeps the
+    real depth buffer.
+    """
+    rgba = framebuffer.rgba.reshape(-1, 4).copy()
+    if visibility_order is None:
+        depth = framebuffer.depth.reshape(-1).copy()
+    else:
+        depth = np.full(framebuffer.num_pixels, float(visibility_order))
+    return SubImage(rgba, depth, framebuffer.width, framebuffer.height)

@@ -1,0 +1,67 @@
+"""Data-parallel primitives framework (EAVL / VTK-m analogue).
+
+The dissertation's rendering algorithms (Chapters II, III, and V) are composed
+entirely of a small set of data-parallel primitives -- ``map``, ``gather``,
+``scatter``, ``reduce``, ``scan``, and the stream-compaction idiom built from
+them -- executed by an underlying engine (EAVL, later VTK-m) that provides
+portable performance across CPU and GPU back-ends.
+
+This package reproduces that layer in Python:
+
+* :mod:`repro.dpp.device` -- back-end ("device adapter") registry.  The
+  ``vectorized`` device executes primitives with numpy; the ``serial`` device
+  runs explicit Python loops (useful for differential testing of the
+  vectorized kernels, mirroring the paper's OpenMP-vs-ISPC back-end swap).
+* :mod:`repro.dpp.primitives` -- the primitives themselves, dispatching to the
+  active device and recording per-invocation instrumentation.
+* :mod:`repro.dpp.instrument` -- operation counters and timings per primitive,
+  standing in for PAPI / nvprof hardware counters.
+* :mod:`repro.dpp.arrays` -- a struct-of-arrays container following the
+  memory-layout best practice noted in Chapter III.
+"""
+
+from repro.dpp.arrays import SOAArray
+from repro.dpp.device import (
+    Device,
+    DeviceRegistry,
+    SerialDevice,
+    VectorizedDevice,
+    get_device,
+    list_devices,
+    register_device,
+    use_device,
+)
+from repro.dpp.instrument import InstrumentationScope, OpCounters, get_instrumentation
+from repro.dpp.primitives import (
+    exclusive_scan,
+    gather,
+    inclusive_scan,
+    map_field,
+    reduce_field,
+    reverse_index,
+    scatter,
+    stream_compact,
+)
+
+__all__ = [
+    "Device",
+    "DeviceRegistry",
+    "InstrumentationScope",
+    "OpCounters",
+    "SOAArray",
+    "SerialDevice",
+    "VectorizedDevice",
+    "exclusive_scan",
+    "gather",
+    "get_device",
+    "get_instrumentation",
+    "inclusive_scan",
+    "list_devices",
+    "map_field",
+    "reduce_field",
+    "register_device",
+    "reverse_index",
+    "scatter",
+    "stream_compact",
+    "use_device",
+]

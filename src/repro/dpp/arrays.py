@@ -1,0 +1,98 @@
+"""Struct-of-arrays container.
+
+Chapter III notes that the data-parallel renderers organise their data as
+structs-of-arrays, "following acknowledged best practices for both CPU
+(enabling vectorization) and GPU (creating coalesced memory accesses)".  The
+:class:`SOAArray` container encodes that convention: a named collection of
+equally sized numpy arrays that can be gathered, scattered, compacted, and
+concatenated as one unit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["SOAArray"]
+
+
+class SOAArray:
+    """A named bundle of equally sized numpy arrays ("fields").
+
+    Fields are accessed with item syntax (``soa["origin"]``).  Structural
+    operations return new :class:`SOAArray` instances and never copy more than
+    necessary.
+    """
+
+    def __init__(self, fields: Mapping[str, np.ndarray] | None = None) -> None:
+        self._fields: dict[str, np.ndarray] = {}
+        self._length: int | None = None
+        if fields:
+            for name, values in fields.items():
+                self[name] = values
+
+    # -- basic mapping behaviour -------------------------------------------------
+    def __setitem__(self, name: str, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        if self._length is None:
+            self._length = len(values)
+        elif len(values) != self._length:
+            raise ValueError(
+                f"field {name!r} has length {len(values)}, expected {self._length}"
+            )
+        self._fields[name] = values
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._fields[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fields
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._fields)
+
+    def __len__(self) -> int:
+        return self._length or 0
+
+    @property
+    def names(self) -> list[str]:
+        """Field names in insertion order."""
+        return list(self._fields)
+
+    @property
+    def nbytes(self) -> int:
+        """Total buffer size across all fields."""
+        return int(sum(values.nbytes for values in self._fields.values()))
+
+    # -- structural operations -----------------------------------------------------
+    def select(self, indices: np.ndarray) -> "SOAArray":
+        """Gather the given element indices from every field."""
+        indices = np.asarray(indices)
+        return SOAArray({name: values[indices] for name, values in self._fields.items()})
+
+    def compact(self, flags: np.ndarray) -> "SOAArray":
+        """Keep only elements whose flag is true (order preserved)."""
+        flags = np.asarray(flags, dtype=bool)
+        if len(flags) != len(self):
+            raise ValueError("flag length must match SOAArray length")
+        return self.select(np.flatnonzero(flags))
+
+    def concatenate(self, other: "SOAArray") -> "SOAArray":
+        """Append another SOAArray with exactly the same field names."""
+        if set(self._fields) != set(other._fields):
+            raise ValueError("cannot concatenate SOAArrays with different fields")
+        return SOAArray(
+            {
+                name: np.concatenate([self._fields[name], other._fields[name]])
+                for name in self._fields
+            }
+        )
+
+    def copy(self) -> "SOAArray":
+        """Deep copy of every field."""
+        return SOAArray({name: values.copy() for name, values in self._fields.items()})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{name}{tuple(values.shape)}" for name, values in self._fields.items())
+        return f"SOAArray(n={len(self)}, fields=[{fields}])"

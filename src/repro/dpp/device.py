@@ -1,0 +1,237 @@
+"""Device adapters (back-ends) for the data-parallel primitives.
+
+EAVL and VTK-m compile a single algorithm description to multiple back-ends
+(serial, OpenMP/TBB, CUDA, ISPC).  The reproduction keeps the same structure:
+primitives in :mod:`repro.dpp.primitives` never execute work themselves; they
+delegate to the active :class:`Device`.  Two devices are provided:
+
+``vectorized``
+    Executes every primitive with numpy array operations.  This is the
+    production back-end and the one whose wall-clock time is measured for the
+    "CPU1" architecture in the study.
+
+``serial``
+    Executes primitives with explicit Python loops.  It is deliberately slow
+    but trivially correct, and is used for differential testing and to
+    reproduce the paper's back-end comparison experiments (Table 5), where a
+    poorly-matched back-end (OpenMP on Xeon Phi) is contrasted with a
+    well-matched one (ISPC).
+
+Devices are selected globally through :func:`use_device`, which is also a
+context manager, mirroring VTK-m's runtime device tracker.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "Device",
+    "SerialDevice",
+    "VectorizedDevice",
+    "DeviceRegistry",
+    "register_device",
+    "get_device",
+    "use_device",
+    "list_devices",
+]
+
+
+class Device:
+    """Abstract device adapter.
+
+    Subclasses implement the raw execution of each primitive.  All inputs and
+    outputs are numpy arrays; functors are plain Python callables that accept
+    and return arrays (vectorized device) or scalars (serial device is free to
+    call them element-wise when ``elementwise`` is requested).
+    """
+
+    #: Unique registry name.
+    name: str = "abstract"
+
+    # -- mandatory primitive implementations ---------------------------------
+    def map(self, functor: Callable, *arrays: np.ndarray) -> np.ndarray | tuple:
+        raise NotImplementedError
+
+    def gather(self, values: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def scatter(
+        self, values: np.ndarray, indices: np.ndarray, output: np.ndarray
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def reduce(self, values: np.ndarray, operator: str) -> np.generic:
+        raise NotImplementedError
+
+    def scan(self, values: np.ndarray, inclusive: bool) -> np.ndarray:
+        raise NotImplementedError
+
+
+class VectorizedDevice(Device):
+    """numpy-backed device adapter (the production back-end)."""
+
+    name = "vectorized"
+
+    def map(self, functor: Callable, *arrays: np.ndarray) -> np.ndarray | tuple:
+        return functor(*arrays)
+
+    def gather(self, values: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        return np.take(values, indices, axis=0)
+
+    def scatter(
+        self, values: np.ndarray, indices: np.ndarray, output: np.ndarray
+    ) -> np.ndarray:
+        output[indices] = values
+        return output
+
+    def reduce(self, values: np.ndarray, operator: str) -> np.generic:
+        if operator == "add":
+            return values.sum(axis=0)
+        if operator == "min":
+            return values.min(axis=0)
+        if operator == "max":
+            return values.max(axis=0)
+        raise ValueError(f"unknown reduction operator: {operator!r}")
+
+    def scan(self, values: np.ndarray, inclusive: bool) -> np.ndarray:
+        result = np.cumsum(values, axis=0)
+        if inclusive or len(result) == 0:
+            return result
+        exclusive = np.empty_like(result)
+        exclusive[0] = 0
+        exclusive[1:] = result[:-1]
+        return exclusive
+
+
+class SerialDevice(Device):
+    """Pure-Python loop device adapter (reference back-end).
+
+    Functors passed to :meth:`map` are still called on whole arrays (they are
+    written vectorized throughout the library); the serial device differs in
+    how the structural primitives -- gather, scatter, reduce, scan -- are
+    executed, using explicit loops so they can be diffed against the
+    vectorized implementations.
+    """
+
+    name = "serial"
+
+    def map(self, functor: Callable, *arrays: np.ndarray) -> np.ndarray | tuple:
+        return functor(*arrays)
+
+    def gather(self, values: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices)
+        out_shape = (len(indices),) + values.shape[1:]
+        out = np.empty(out_shape, dtype=values.dtype)
+        for position, index in enumerate(indices):
+            out[position] = values[index]
+        return out
+
+    def scatter(
+        self, values: np.ndarray, indices: np.ndarray, output: np.ndarray
+    ) -> np.ndarray:
+        indices = np.asarray(indices)
+        for position, index in enumerate(indices):
+            output[index] = values[position]
+        return output
+
+    def reduce(self, values: np.ndarray, operator: str) -> np.generic:
+        if len(values) == 0:
+            return VectorizedDevice().reduce(values, operator)
+        accumulator = values[0]
+        for value in values[1:]:
+            if operator == "add":
+                accumulator = accumulator + value
+            elif operator == "min":
+                accumulator = np.minimum(accumulator, value)
+            elif operator == "max":
+                accumulator = np.maximum(accumulator, value)
+            else:
+                raise ValueError(f"unknown reduction operator: {operator!r}")
+        return accumulator
+
+    def scan(self, values: np.ndarray, inclusive: bool) -> np.ndarray:
+        out = np.empty_like(np.asarray(values))
+        running = np.zeros_like(np.asarray(values[:1]).sum(axis=0)) if len(values) else 0
+        for position, value in enumerate(values):
+            if inclusive:
+                running = running + value
+                out[position] = running
+            else:
+                out[position] = running
+                running = running + value
+        return out
+
+
+class DeviceRegistry:
+    """Registry of available devices with one globally active device."""
+
+    def __init__(self) -> None:
+        self._devices: dict[str, Device] = {}
+        self._active: str | None = None
+
+    def register(self, device: Device) -> None:
+        """Add ``device``; the first registration becomes the active device."""
+        self._devices[device.name] = device
+        if self._active is None:
+            self._active = device.name
+
+    def get(self, name: str | None = None) -> Device:
+        """Return the named device, or the active device when ``name`` is None."""
+        if name is None:
+            if self._active is None:
+                raise RuntimeError("no device registered")
+            name = self._active
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown device {name!r}; registered: {sorted(self._devices)}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._devices)
+
+    @property
+    def active(self) -> str | None:
+        return self._active
+
+    @contextlib.contextmanager
+    def activate(self, name: str) -> Iterator[Device]:
+        """Temporarily make ``name`` the active device."""
+        device = self.get(name)
+        previous = self._active
+        self._active = name
+        try:
+            yield device
+        finally:
+            self._active = previous
+
+
+#: Process-global registry used by the primitive front-ends.
+_REGISTRY = DeviceRegistry()
+_REGISTRY.register(VectorizedDevice())
+_REGISTRY.register(SerialDevice())
+
+
+def register_device(device: Device) -> None:
+    """Register a custom device adapter in the global registry."""
+    _REGISTRY.register(device)
+
+
+def get_device(name: str | None = None) -> Device:
+    """Return a registered device (the active one when ``name`` is omitted)."""
+    return _REGISTRY.get(name)
+
+
+def use_device(name: str):
+    """Context manager selecting the active device for the enclosed block."""
+    return _REGISTRY.activate(name)
+
+
+def list_devices() -> list[str]:
+    """Names of all registered devices."""
+    return _REGISTRY.names()

@@ -1,0 +1,160 @@
+"""Primitive-level instrumentation: timings and operation counters.
+
+The study gathered PAPI counters on the CPU and nvprof metrics on the GPU to
+derive per-phase instructions-per-cycle (Table 7) and to populate the
+regression corpus with per-phase run times.  The reproduction cannot read
+hardware counters, so instead every data-parallel primitive invocation reports
+
+* wall-clock time,
+* the number of elements it touched (a proxy for instruction count), and
+* an estimate of the bytes it moved (a proxy for memory traffic),
+
+into a process-global :class:`OpCounters` object.  The ratio of elements
+touched to bytes moved plays the role of arithmetic intensity / IPC in the
+per-phase analyses, and the timings feed the model-fitting corpus.
+
+Scopes (:class:`InstrumentationScope`) give each rendering phase its own
+namespace, so a volume render records ``volume.sampling`` separately from
+``volume.compositing`` just as the paper's harness did.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.util.timing import TimingRegistry
+
+__all__ = ["OpCounters", "InstrumentationScope", "get_instrumentation", "reset_instrumentation"]
+
+
+@dataclass
+class _PhaseCounters:
+    """Raw accumulators for one instrumentation scope."""
+
+    invocations: int = 0
+    elements: int = 0
+    bytes_moved: int = 0
+
+
+@dataclass
+class OpCounters:
+    """Process-global primitive instrumentation.
+
+    Attributes
+    ----------
+    timings:
+        Hierarchical wall-clock registry; phase names follow the active scope.
+    """
+
+    timings: TimingRegistry = field(default_factory=TimingRegistry)
+    _phases: dict[str, _PhaseCounters] = field(default_factory=dict)
+    _scope: str = "global"
+    enabled: bool = True
+
+    # -- scope management -----------------------------------------------------
+    @contextlib.contextmanager
+    def scope(self, name: str) -> Iterator[str]:
+        """Temporarily switch the active scope (dotted names nest naturally)."""
+        previous = self._scope
+        self._scope = name
+        try:
+            yield name
+        finally:
+            self._scope = previous
+
+    @property
+    def active_scope(self) -> str:
+        return self._scope
+
+    # -- recording -------------------------------------------------------------
+    def record(self, primitive: str, elements: int, bytes_moved: int, seconds: float) -> None:
+        """Record one primitive invocation under the active scope."""
+        if not self.enabled:
+            return
+        key = f"{self._scope}.{primitive}"
+        phase = self._phases.setdefault(self._scope, _PhaseCounters())
+        phase.invocations += 1
+        phase.elements += int(elements)
+        phase.bytes_moved += int(bytes_moved)
+        self.timings.record(key, seconds)
+
+    # -- queries ----------------------------------------------------------------
+    def elements(self, scope: str) -> int:
+        """Total elements touched by primitives in ``scope``."""
+        phase = self._phases.get(scope)
+        return phase.elements if phase else 0
+
+    def bytes_moved(self, scope: str) -> int:
+        """Total estimated bytes moved by primitives in ``scope``."""
+        phase = self._phases.get(scope)
+        return phase.bytes_moved if phase else 0
+
+    def invocations(self, scope: str) -> int:
+        """Number of primitive invocations recorded in ``scope``."""
+        phase = self._phases.get(scope)
+        return phase.invocations if phase else 0
+
+    def seconds(self, scope: str) -> float:
+        """Wall-clock seconds recorded by primitives in ``scope``."""
+        return self.timings.subtotal(scope + ".")
+
+    def arithmetic_intensity(self, scope: str) -> float:
+        """Elements touched per byte moved -- the reproduction's IPC proxy."""
+        moved = self.bytes_moved(scope)
+        if moved == 0:
+            return 0.0
+        return self.elements(scope) / moved
+
+    def scopes(self) -> list[str]:
+        """All scopes with recorded activity."""
+        return sorted(self._phases)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-scope dictionary of counters (for reports and tests)."""
+        return {
+            scope: {
+                "invocations": float(phase.invocations),
+                "elements": float(phase.elements),
+                "bytes_moved": float(phase.bytes_moved),
+                "seconds": self.seconds(scope),
+            }
+            for scope, phase in self._phases.items()
+        }
+
+    def clear(self) -> None:
+        """Forget all counters and timings."""
+        self._phases.clear()
+        self.timings.clear()
+
+
+#: Module-level singleton used by :mod:`repro.dpp.primitives`.
+_INSTRUMENTATION = OpCounters()
+
+
+def get_instrumentation() -> OpCounters:
+    """Return the process-global instrumentation object."""
+    return _INSTRUMENTATION
+
+
+def reset_instrumentation() -> None:
+    """Clear the process-global instrumentation (used by tests and the harness)."""
+    _INSTRUMENTATION.clear()
+
+
+class InstrumentationScope:
+    """Convenience context manager: ``with InstrumentationScope("volume.sampling"): ...``"""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._manager = None
+
+    def __enter__(self) -> str:
+        self._manager = _INSTRUMENTATION.scope(self._name)
+        return self._manager.__enter__()
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._manager is not None
+        self._manager.__exit__(*exc_info)
+        self._manager = None

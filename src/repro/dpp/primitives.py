@@ -1,0 +1,206 @@
+"""The data-parallel primitives: map, gather, scatter, reduce, scan, compaction.
+
+These are the operations enumerated in Section 2.3 of the dissertation.  Every
+rendering algorithm in :mod:`repro.rendering` is written exclusively in terms
+of these functions plus user-defined functors, exactly mirroring the paper's
+EAVL/VTK-m implementations, so that the algorithmic-complexity terms used by
+the performance models (objects touched, pixels touched, samples taken) can be
+counted at this single choke point.
+
+Each primitive
+
+1. validates its inputs,
+2. dispatches execution to the active :class:`repro.dpp.device.Device`, and
+3. records wall-clock time, elements touched, and bytes moved into the global
+   :class:`repro.dpp.instrument.OpCounters`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.dpp.device import get_device
+from repro.dpp.instrument import get_instrumentation
+
+__all__ = [
+    "map_field",
+    "gather",
+    "scatter",
+    "reduce_field",
+    "inclusive_scan",
+    "exclusive_scan",
+    "reverse_index",
+    "stream_compact",
+]
+
+
+def _array_bytes(arrays: Sequence[np.ndarray]) -> int:
+    """Sum of buffer sizes, used as the bytes-moved estimate."""
+    return int(sum(np.asarray(a).nbytes for a in arrays))
+
+
+def _record(primitive: str, elements: int, arrays: Sequence[np.ndarray], seconds: float) -> None:
+    get_instrumentation().record(primitive, elements, _array_bytes(arrays), seconds)
+
+
+def map_field(functor: Callable, *arrays: np.ndarray, device: str | None = None):
+    """Apply ``functor`` element-wise over equally sized input arrays.
+
+    The functor receives the input arrays whole (the vectorized execution
+    model) and must return one array -- or a tuple of arrays -- whose leading
+    dimension matches the inputs'.  This is the ``map`` primitive of
+    Section 2.3: primary-ray generation, intersection, shading, and color
+    compositing are all expressed through it.
+
+    Parameters
+    ----------
+    functor:
+        Callable applied to the arrays.
+    arrays:
+        One or more numpy arrays sharing their leading dimension.
+    device:
+        Optional device name overriding the active device.
+
+    Returns
+    -------
+    numpy.ndarray or tuple of numpy.ndarray
+        Whatever the functor produced.
+    """
+    if not arrays:
+        raise ValueError("map_field requires at least one input array")
+    arrays = tuple(np.asarray(a) for a in arrays)
+    length = len(arrays[0])
+    for array in arrays[1:]:
+        if len(array) != length:
+            raise ValueError("map_field inputs must share their leading dimension")
+    start = time.perf_counter()
+    result = get_device(device).map(functor, *arrays)
+    elapsed = time.perf_counter() - start
+    outputs = result if isinstance(result, tuple) else (result,)
+    _record("map", length, arrays + tuple(np.asarray(o) for o in outputs), elapsed)
+    return result
+
+
+def gather(values: np.ndarray, indices: np.ndarray, device: str | None = None) -> np.ndarray:
+    """Collect ``values[indices[i]]`` into an output the length of ``indices``.
+
+    Gather is used to compact surviving rays, to collect per-pixel samples for
+    anti-aliasing, and by stream compaction (Section 2.3).
+    """
+    values = np.asarray(values)
+    indices = np.asarray(indices)
+    if indices.ndim != 1:
+        raise ValueError("gather indices must be one-dimensional")
+    if len(values) == 0 and len(indices) > 0:
+        raise ValueError("cannot gather from an empty array")
+    if len(indices) and (indices.min() < 0 or indices.max() >= len(values)):
+        raise IndexError("gather index out of range")
+    start = time.perf_counter()
+    result = get_device(device).gather(values, indices)
+    elapsed = time.perf_counter() - start
+    _record("gather", len(indices), (values, indices, result), elapsed)
+    return result
+
+
+def scatter(
+    values: np.ndarray,
+    indices: np.ndarray,
+    output: np.ndarray,
+    device: str | None = None,
+) -> np.ndarray:
+    """Write ``values[i]`` into ``output[indices[i]]`` (in place) and return it.
+
+    The caller is responsible for index uniqueness when a race would matter,
+    as in the paper (scatter "generally requires more care than gather").
+    """
+    values = np.asarray(values)
+    indices = np.asarray(indices)
+    if indices.ndim != 1:
+        raise ValueError("scatter indices must be one-dimensional")
+    if len(values) != len(indices):
+        raise ValueError("scatter values and indices must have equal length")
+    if len(indices) and (indices.min() < 0 or indices.max() >= len(output)):
+        raise IndexError("scatter index out of range")
+    start = time.perf_counter()
+    result = get_device(device).scatter(values, indices, output)
+    elapsed = time.perf_counter() - start
+    _record("scatter", len(indices), (values, indices, output), elapsed)
+    return result
+
+
+def reduce_field(values: np.ndarray, operator: str = "add", device: str | None = None):
+    """Combine all values into one using ``add``, ``min``, or ``max``.
+
+    An empty ``add`` reduction returns 0; empty ``min``/``max`` reductions
+    raise ``ValueError`` as there is no identity element.
+    """
+    values = np.asarray(values)
+    if len(values) == 0:
+        if operator == "add":
+            return np.zeros(values.shape[1:], dtype=values.dtype) if values.ndim > 1 else values.dtype.type(0)
+        raise ValueError(f"cannot {operator}-reduce an empty array")
+    start = time.perf_counter()
+    result = get_device(device).reduce(values, operator)
+    elapsed = time.perf_counter() - start
+    _record("reduce", len(values), (values,), elapsed)
+    return result
+
+
+def inclusive_scan(values: np.ndarray, device: str | None = None) -> np.ndarray:
+    """Inclusive prefix sum: ``out[i] = sum(values[:i+1])``."""
+    values = np.asarray(values)
+    start = time.perf_counter()
+    result = get_device(device).scan(values, inclusive=True)
+    elapsed = time.perf_counter() - start
+    _record("scan", len(values), (values, result), elapsed)
+    return result
+
+
+def exclusive_scan(values: np.ndarray, device: str | None = None) -> np.ndarray:
+    """Exclusive prefix sum: ``out[i] = sum(values[:i])`` with ``out[0] = 0``."""
+    values = np.asarray(values)
+    start = time.perf_counter()
+    result = get_device(device).scan(values, inclusive=False)
+    elapsed = time.perf_counter() - start
+    _record("scan", len(values), (values, result), elapsed)
+    return result
+
+
+def reverse_index(scan_result: np.ndarray, flags: np.ndarray) -> np.ndarray:
+    """Invert an exclusive scan of boolean flags into gather indices.
+
+    Given ``flags`` marking surviving elements and ``scan_result`` their
+    exclusive prefix sum, return the array of original indices of the
+    survivors, in order.  This is the ``reverseIndex`` step of the paper's
+    stream-compaction idiom (Algorithm 1, line 21 and Algorithm 2, line 20).
+    """
+    flags = np.asarray(flags, dtype=bool)
+    scan_result = np.asarray(scan_result)
+    if len(flags) != len(scan_result):
+        raise ValueError("flags and scan_result must have equal length")
+    return np.flatnonzero(flags).astype(np.int64)
+
+
+def stream_compact(flags: np.ndarray, *arrays: np.ndarray, device: str | None = None):
+    """Remove the elements whose flag is false from every array, preserving order.
+
+    Implements the compaction idiom from the ray tracer (Section 2.4 "Stream
+    Compaction"): reduce to count survivors, exclusive-scan the flags,
+    reverse-index to build gather indices, then gather each array.
+
+    Returns
+    -------
+    (count, compacted):
+        ``count`` is the number of survivors and ``compacted`` a tuple with
+        each input array restricted to the surviving elements.
+    """
+    flags = np.asarray(flags)
+    flag_ints = flags.astype(np.int64)
+    count = int(reduce_field(flag_ints, "add", device=device))
+    scanned = exclusive_scan(flag_ints, device=device)
+    indices = reverse_index(scanned, flags)
+    compacted = tuple(gather(array, indices, device=device) for array in arrays)
+    return count, compacted

@@ -1,0 +1,117 @@
+"""Isosurface extraction via marching tetrahedra.
+
+The ray-tracing study (Chapter II) renders isosurfaces of simulation fields
+(Richtmyer-Meshkov density, Lead Telluride charge density).  The reproduction
+extracts comparable triangle workloads from its synthetic fields with a
+marching-tetrahedra contouring filter: every hexahedral cell of a structured
+grid is decomposed into five tetrahedra and each tetrahedron is contoured
+against the isovalue with the standard 16-case table.
+
+The implementation is fully vectorized: case classification, table lookup,
+and edge interpolation all operate on whole arrays of tetrahedra at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.mesh import RectilinearGrid, StructuredGrid, UniformGrid
+from repro.geometry.tetra import tetrahedralize_uniform_grid
+from repro.geometry.triangles import TriangleMesh
+
+__all__ = ["isosurface_marching_tets"]
+
+# Tetrahedron edges as pairs of local vertex ids.
+_TET_EDGES = np.array(
+    [[0, 1], [0, 2], [0, 3], [1, 2], [1, 3], [2, 3]],
+    dtype=np.int64,
+)
+
+# Marching-tetrahedra case table: for each of the 16 sign configurations
+# (bit i set when vertex i is above the isovalue), up to two triangles are
+# emitted, each listing three edge ids from ``_TET_EDGES``.  ``-1`` marks an
+# unused triangle slot.
+_CASE_TABLE = -np.ones((16, 2, 3), dtype=np.int64)
+_CASE_TABLE[1, 0] = [0, 1, 2]
+_CASE_TABLE[2, 0] = [0, 3, 4]
+_CASE_TABLE[3] = [[1, 3, 4], [1, 4, 2]]
+_CASE_TABLE[4, 0] = [1, 3, 5]
+_CASE_TABLE[5] = [[0, 3, 5], [0, 5, 2]]
+_CASE_TABLE[6] = [[0, 4, 5], [0, 5, 1]]
+_CASE_TABLE[7, 0] = [2, 4, 5]
+_CASE_TABLE[8, 0] = [2, 4, 5]
+_CASE_TABLE[9] = [[0, 1, 5], [0, 5, 4]]
+_CASE_TABLE[10] = [[0, 2, 5], [0, 5, 3]]
+_CASE_TABLE[11, 0] = [1, 3, 5]
+_CASE_TABLE[12] = [[1, 2, 4], [1, 4, 3]]
+_CASE_TABLE[13, 0] = [0, 3, 4]
+_CASE_TABLE[14, 0] = [0, 1, 2]
+
+
+def isosurface_marching_tets(
+    grid: UniformGrid | RectilinearGrid | StructuredGrid,
+    field_name: str,
+    isovalue: float,
+) -> TriangleMesh:
+    """Extract the ``field == isovalue`` surface of a structured grid.
+
+    Parameters
+    ----------
+    grid:
+        Any structured grid carrying a *point-centered* scalar field.
+    field_name:
+        Name of the point field to contour.
+    isovalue:
+        The contour value.
+
+    Returns
+    -------
+    TriangleMesh
+        Triangles whose vertices lie on grid edges where the field crosses
+        the isovalue; the surface scalar is the isovalue at every vertex.
+        The mesh is empty when the isovalue lies outside the field range.
+    """
+    if field_name not in grid.point_fields:
+        raise KeyError(f"grid has no point field named {field_name!r}")
+    tet_mesh = tetrahedralize_uniform_grid(grid)
+    points = tet_mesh.points()
+    scalars = np.asarray(grid.point_fields[field_name], dtype=np.float64)
+    connectivity = tet_mesh.connectivity
+
+    corner_scalars = scalars[connectivity]                      # (nt, 4)
+    above = corner_scalars > isovalue
+    case_index = (
+        above[:, 0].astype(np.int64)
+        | (above[:, 1] << 1)
+        | (above[:, 2] << 2)
+        | (above[:, 3] << 3)
+    )
+    active = (case_index != 0) & (case_index != 15)
+    if not np.any(active):
+        return TriangleMesh(np.zeros((0, 3)), np.zeros((0, 3), dtype=np.int64), np.zeros(0))
+
+    active_conn = connectivity[active]
+    active_scalars = corner_scalars[active]
+    active_cases = case_index[active]
+
+    # Interpolate all six edge-crossing points for every active tetrahedron.
+    # Edges that do not actually cross are never referenced by the case table.
+    edge_a = active_conn[:, _TET_EDGES[:, 0]]                   # (na, 6)
+    edge_b = active_conn[:, _TET_EDGES[:, 1]]
+    scalar_a = active_scalars[:, _TET_EDGES[:, 0]]
+    scalar_b = active_scalars[:, _TET_EDGES[:, 1]]
+    denominator = scalar_b - scalar_a
+    safe = np.where(np.abs(denominator) < 1e-300, 1.0, denominator)
+    t = np.clip((isovalue - scalar_a) / safe, 0.0, 1.0)
+    edge_points = points[edge_a] + t[..., None] * (points[edge_b] - points[edge_a])  # (na, 6, 3)
+
+    triangles_edges = _CASE_TABLE[active_cases]                 # (na, 2, 3)
+    valid = triangles_edges[:, :, 0] >= 0                        # (na, 2)
+    tet_ids, tri_slots = np.nonzero(valid)
+    emitted_edges = triangles_edges[tet_ids, tri_slots]          # (ntri, 3)
+    vertices = edge_points[tet_ids[:, None], emitted_edges]      # (ntri, 3, 3)
+
+    flat_vertices = vertices.reshape(-1, 3)
+    triangle_conn = np.arange(len(flat_vertices), dtype=np.int64).reshape(-1, 3)
+    surface_scalars = np.full(len(flat_vertices), float(isovalue))
+    return TriangleMesh(flat_vertices, triangle_conn, surface_scalars)

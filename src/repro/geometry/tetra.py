@@ -1,0 +1,115 @@
+"""Hexahedron-to-tetrahedron decomposition.
+
+The Chapter III study volume-renders unstructured tetrahedral meshes produced
+by decomposing hexahedral or rectilinear cells ("This data set was natively on
+a rectilinear grid, which we then decomposed into tetrahedrons"; "we divided
+these hexahedrons into tetrahedrons").  This module provides that operation:
+
+* :func:`hex_to_tets` splits each hexahedron into five tetrahedra using the
+  standard alternating (parity) scheme so that neighbouring cells share
+  diagonals and the decomposition is conforming on structured grids.
+* :func:`tetrahedralize_uniform_grid` is the convenience wrapper used by the
+  data-set generators (Enzo-like and Nek5000-like inputs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.mesh import (
+    RectilinearGrid,
+    StructuredGrid,
+    UniformGrid,
+    UnstructuredHexMesh,
+    UnstructuredTetMesh,
+)
+
+__all__ = ["hex_to_tets", "tetrahedralize_uniform_grid"]
+
+# Five-tet decomposition of a hexahedron with VTK point ordering
+# (0..3 bottom counter-clockwise, 4..7 top).  Two mirror-image variants are
+# used in a checkerboard pattern so shared faces agree across neighbours.
+_FIVE_TETS_EVEN = np.array(
+    [
+        [0, 1, 2, 5],
+        [0, 2, 3, 7],
+        [0, 5, 2, 7],
+        [0, 5, 7, 4],
+        [2, 7, 5, 6],
+    ],
+    dtype=np.int64,
+)
+_FIVE_TETS_ODD = np.array(
+    [
+        [1, 2, 3, 6],
+        [1, 3, 0, 4],
+        [1, 6, 3, 4],
+        [1, 6, 4, 5],
+        [3, 4, 6, 7],
+    ],
+    dtype=np.int64,
+)
+
+
+def hex_to_tets(
+    mesh: UnstructuredHexMesh,
+    parity: np.ndarray | None = None,
+) -> UnstructuredTetMesh:
+    """Split every hexahedron into five tetrahedra.
+
+    Parameters
+    ----------
+    mesh:
+        The hexahedral mesh to decompose.  Point fields are carried over
+        unchanged; cell fields are replicated onto the five child tets.
+    parity:
+        Optional boolean array (one per hex) choosing between the two
+        mirror-image decompositions.  Structured grids should pass the cell
+        ``(i + j + k) % 2`` checkerboard so the decomposition is conforming;
+        when omitted, all cells use the "even" variant.
+
+    Returns
+    -------
+    UnstructuredTetMesh
+        Mesh with ``5 * num_cells`` tetrahedra over the same points.
+    """
+    n_cells = mesh.num_cells
+    if parity is None:
+        parity = np.zeros(n_cells, dtype=bool)
+    parity = np.asarray(parity, dtype=bool)
+    if len(parity) != n_cells:
+        raise ValueError("parity must have one entry per hexahedron")
+
+    local = np.where(parity[:, None, None], _FIVE_TETS_ODD[None], _FIVE_TETS_EVEN[None])
+    # Map local corner ids through each cell's connectivity.
+    connectivity = np.take_along_axis(
+        mesh.connectivity[:, None, :].repeat(5, axis=1), local, axis=2
+    ).reshape(-1, 4)
+
+    tet_mesh = UnstructuredTetMesh(mesh.points(), connectivity)
+    for name, values in mesh.point_fields.items():
+        tet_mesh.add_point_field(name, np.asarray(values))
+    for name, values in mesh.cell_fields.items():
+        tet_mesh.add_cell_field(name, np.repeat(np.asarray(values), 5, axis=0))
+    return tet_mesh
+
+
+def _structured_parity(cell_dims: tuple[int, int, int]) -> np.ndarray:
+    """Checkerboard parity per cell of a structured grid (x fastest)."""
+    cx, cy, cz = cell_dims
+    k, j, i = np.meshgrid(np.arange(cz), np.arange(cy), np.arange(cx), indexing="ij")
+    return ((i + j + k) % 2 == 1).ravel()
+
+
+def tetrahedralize_uniform_grid(
+    grid: UniformGrid | RectilinearGrid | StructuredGrid,
+) -> UnstructuredTetMesh:
+    """Decompose any structured grid into a conforming tetrahedral mesh.
+
+    Each hexahedral cell yields five tetrahedra; the checkerboard parity
+    pattern guarantees shared faces match between neighbours.  Point and cell
+    fields are transferred as in :func:`hex_to_tets`.
+    """
+    hex_mesh = UnstructuredHexMesh.from_structured(grid)
+    parity = _structured_parity(grid.cell_dims)
+    return hex_to_tets(hex_mesh, parity)

@@ -1,0 +1,166 @@
+"""Hierarchical node tree for in-core data description (the Conduit analogue).
+
+Conduit (Chapter IV) provides a JSON-like hierarchical object model whose
+distinguishing features the reproduction preserves:
+
+* **path-addressed access** -- ``node["fields/e/values"]`` creates the
+  intermediate objects on demand exactly as Conduit's ``Node`` does;
+* **separation of description from data** -- large numeric arrays are stored
+  by reference (zero-copy) via :meth:`ConduitNode.set_external`, so
+  publishing simulation state does not duplicate it; and
+* **runtime introspection** -- children can be listed, paths tested, and the
+  tree rendered to a nested dictionary or a YAML-ish string for debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = ["ConduitNode"]
+
+
+class ConduitNode:
+    """A node in the hierarchical description tree.
+
+    A node is either an *object node* (holding named children) or a *leaf*
+    (holding a value).  Assigning through a path creates intermediate object
+    nodes automatically.
+    """
+
+    def __init__(self) -> None:
+        self._children: dict[str, "ConduitNode"] = {}
+        self._value: Any = None
+        self._has_value = False
+        self._external = False
+
+    # -- path handling ---------------------------------------------------------------
+    @staticmethod
+    def _split(path: str) -> list[str]:
+        parts = [part for part in path.split("/") if part]
+        if not parts:
+            raise KeyError("empty path")
+        return parts
+
+    def fetch(self, path: str) -> "ConduitNode":
+        """Return (creating as needed) the node at ``path``."""
+        node = self
+        for part in self._split(path):
+            if node._has_value:
+                raise ValueError(f"cannot descend into leaf node at {part!r}")
+            if part not in node._children:
+                node._children[part] = ConduitNode()
+            node = node._children[part]
+        return node
+
+    def fetch_existing(self, path: str) -> "ConduitNode":
+        """Return the node at ``path`` or raise ``KeyError`` if any part is missing."""
+        node = self
+        for part in self._split(path):
+            if part not in node._children:
+                raise KeyError(f"path {path!r} does not exist (missing {part!r})")
+            node = node._children[part]
+        return node
+
+    def has_path(self, path: str) -> bool:
+        """True when every component of ``path`` exists."""
+        try:
+            self.fetch_existing(path)
+            return True
+        except KeyError:
+            return False
+
+    # -- value access ------------------------------------------------------------------
+    def set(self, value: Any) -> None:
+        """Store a (copied, for numpy arrays) value in this node."""
+        if self._children:
+            raise ValueError("cannot set a value on an object node with children")
+        if isinstance(value, np.ndarray):
+            value = value.copy()
+        self._value = value
+        self._has_value = True
+        self._external = False
+
+    def set_external(self, value: Any) -> None:
+        """Store a value by reference (zero-copy): the caller retains ownership."""
+        if self._children:
+            raise ValueError("cannot set a value on an object node with children")
+        self._value = value
+        self._has_value = True
+        self._external = True
+
+    def value(self) -> Any:
+        """The stored value (raises if this is an object node)."""
+        if not self._has_value:
+            raise ValueError("node has no value (object node or empty leaf)")
+        return self._value
+
+    @property
+    def is_external(self) -> bool:
+        """True when the value is held zero-copy."""
+        return self._external
+
+    @property
+    def is_leaf(self) -> bool:
+        return self._has_value
+
+    # -- dict-like conveniences -------------------------------------------------------------
+    def __setitem__(self, path: str, value: Any) -> None:
+        self.fetch(path).set(value)
+
+    def __getitem__(self, path: str) -> Any:
+        node = self.fetch_existing(path)
+        return node.value() if node.is_leaf else node
+
+    def __contains__(self, path: str) -> bool:
+        return self.has_path(path)
+
+    def child_names(self) -> list[str]:
+        """Names of direct children (empty for leaves)."""
+        return list(self._children)
+
+    def children(self) -> Iterator[tuple[str, "ConduitNode"]]:
+        """Iterate over (name, child) pairs."""
+        return iter(self._children.items())
+
+    # -- structural helpers ----------------------------------------------------------------------
+    def append(self) -> "ConduitNode":
+        """Append an anonymous child (used for action lists, as in Conduit)."""
+        name = str(len(self._children))
+        child = ConduitNode()
+        self._children[name] = child
+        return child
+
+    def to_dict(self) -> Any:
+        """Nested-dictionary rendering (leaves become their values)."""
+        if self.is_leaf:
+            return self._value
+        return {name: child.to_dict() for name, child in self._children.items()}
+
+    def total_bytes(self) -> int:
+        """Sum of the buffer sizes of all numpy leaves (zero-copy or not)."""
+        if self.is_leaf:
+            return int(self._value.nbytes) if isinstance(self._value, np.ndarray) else 0
+        return sum(child.total_bytes() for child in self._children.values())
+
+    def to_yaml(self, indent: int = 0) -> str:
+        """Small YAML-ish rendering for debugging and documentation examples."""
+        pad = "  " * indent
+        if self.is_leaf:
+            value = self._value
+            if isinstance(value, np.ndarray):
+                return f"[array shape={value.shape} dtype={value.dtype}]"
+            return repr(value)
+        lines = []
+        for name, child in self._children.items():
+            if child.is_leaf:
+                lines.append(f"{pad}{name}: {child.to_yaml()}")
+            else:
+                lines.append(f"{pad}{name}:")
+                lines.append(child.to_yaml(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else f"object({len(self._children)})"
+        return f"ConduitNode<{kind}>"

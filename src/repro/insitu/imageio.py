@@ -1,0 +1,71 @@
+"""Dependency-free image writers (PPM / PGM).
+
+Strawman saves its renders as PNG files and can stream them to a browser; the
+reproduction writes binary PPM (color) and PGM (grayscale) files instead,
+which every image viewer and test harness can read without third-party
+libraries.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.rendering.framebuffer import Framebuffer
+
+__all__ = ["write_ppm", "write_pgm", "read_ppm"]
+
+
+def write_ppm(path: str | os.PathLike, image: Framebuffer | np.ndarray) -> str:
+    """Write an RGB image as binary PPM (P6).
+
+    ``image`` may be a :class:`Framebuffer` (converted with
+    :meth:`~repro.rendering.framebuffer.Framebuffer.to_rgb8`) or an
+    ``(h, w, 3)`` uint8 array.  Returns the path written.
+    """
+    if isinstance(image, Framebuffer):
+        pixels = image.to_rgb8()
+    else:
+        pixels = np.asarray(image)
+        if pixels.dtype != np.uint8 or pixels.ndim != 3 or pixels.shape[2] != 3:
+            raise ValueError("expected an (h, w, 3) uint8 array or a Framebuffer")
+    height, width, _ = pixels.shape
+    path = os.fspath(path)
+    with open(path, "wb") as stream:
+        stream.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        stream.write(pixels.tobytes())
+    return path
+
+
+def write_pgm(path: str | os.PathLike, values: np.ndarray) -> str:
+    """Write a 2D float or uint8 array as binary PGM (P5), normalizing floats."""
+    values = np.asarray(values)
+    if values.ndim != 2:
+        raise ValueError("expected a 2D array")
+    if values.dtype != np.uint8:
+        finite = np.where(np.isfinite(values), values, 0.0)
+        low, high = float(finite.min()), float(finite.max())
+        scale = 255.0 / (high - low) if high > low else 0.0
+        values = np.clip((finite - low) * scale, 0, 255).astype(np.uint8)
+    height, width = values.shape
+    path = os.fspath(path)
+    with open(path, "wb") as stream:
+        stream.write(f"P5\n{width} {height}\n255\n".encode("ascii"))
+        stream.write(values.tobytes())
+    return path
+
+
+def read_ppm(path: str | os.PathLike) -> np.ndarray:
+    """Read back a binary PPM written by :func:`write_ppm` (used by tests)."""
+    with open(os.fspath(path), "rb") as stream:
+        magic = stream.readline().strip()
+        if magic != b"P6":
+            raise ValueError("not a binary PPM file")
+        dims = stream.readline().split()
+        width, height = int(dims[0]), int(dims[1])
+        maxval = int(stream.readline())
+        if maxval != 255:
+            raise ValueError("only 8-bit PPM files are supported")
+        data = stream.read(width * height * 3)
+    return np.frombuffer(data, dtype=np.uint8).reshape(height, width, 3)

@@ -1,0 +1,31 @@
+"""Architecture descriptions and the synthetic kernel cost model.
+
+The paper fits architecture-specific coefficients from measurements on real
+CPUs and GPUs (LLNL Surface Sandy Bridge + K40m, ORNL Titan K20, plus the
+Chapter II/III desktop devices).  That hardware is not available to the
+reproduction, so this package supplies the substitution documented in
+DESIGN.md:
+
+* :mod:`repro.machines.archspec` -- named architecture specifications with
+  throughput parameters (relative compute rate, memory bandwidth, per-kernel
+  launch overhead, noise level).
+* :mod:`repro.machines.costmodel` -- an analytic per-phase cost synthesizer
+  that converts the *observed model-input variables* of a render (objects,
+  active pixels, samples, ...) into a plausible wall-clock time for a chosen
+  architecture, with multiplicative log-normal noise so the regression and
+  cross-validation machinery is exercised realistically.
+
+The host architecture (``"cpu-host"``) is special: its times are real
+measurements of the numpy renderers, not synthesized.
+"""
+
+from repro.machines.archspec import ArchitectureSpec, get_architecture, list_architectures
+from repro.machines.costmodel import KernelCostModel, synthesize_render_time
+
+__all__ = [
+    "ArchitectureSpec",
+    "KernelCostModel",
+    "get_architecture",
+    "list_architectures",
+    "synthesize_render_time",
+]

@@ -1,0 +1,290 @@
+"""Named architecture specifications.
+
+Each :class:`ArchitectureSpec` parameterises the synthetic cost model with
+per-term throughput rates (elements per second) chosen so that the synthetic
+times land in the same regimes the paper reports for that device -- e.g. a
+GTX Titan Black tracing a few hundred million rays per second against a CPU
+tracing tens of millions, or a K40m shading roughly an order of magnitude
+faster than a 16-core Sandy Bridge node.  The absolute values matter far less
+than the ratios: the performance-model methodology fits coefficients per
+architecture, so all that must be preserved is which terms dominate and how
+the devices compare.
+
+``cpu-host`` is the architecture whose renders are actually *measured* (the
+numpy renderers running on the machine executing the study); it has no
+synthetic rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ArchitectureSpec", "get_architecture", "list_architectures", "register_architecture"]
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """Throughput description of one device.
+
+    Rates are in "elements per second" for the corresponding model term:
+
+    Attributes
+    ----------
+    build_rate:
+        BVH-build objects per second (the ``c0 * O`` term of Eq. 5.1).
+    traversal_rate:
+        Ray-traversal work units (active pixels x log2 objects) per second.
+    shade_rate:
+        Shaded pixels per second.
+    cull_rate:
+        Triangles culled per second (rasterizer ``c0 * O`` term).
+    raster_rate:
+        Candidate pixels (VO x PPT) per second.
+    cell_rate:
+        Volume cell lookups (AP x CS) per second.
+    sample_rate:
+        Volume samples (AP x SPR) per second.
+    kernel_overhead_seconds:
+        Fixed overhead per pipeline phase (kernel launches, API latency).
+    noise_sigma:
+        Log-normal sigma applied multiplicatively to synthesized phase times.
+    """
+
+    name: str
+    kind: str  # "cpu", "gpu", or "mic"
+    build_rate: float
+    traversal_rate: float
+    shade_rate: float
+    cull_rate: float
+    raster_rate: float
+    cell_rate: float
+    sample_rate: float
+    kernel_overhead_seconds: float = 1e-4
+    noise_sigma: float = 0.06
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "build_rate",
+            "traversal_rate",
+            "shade_rate",
+            "cull_rate",
+            "raster_rate",
+            "cell_rate",
+            "sample_rate",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+
+_REGISTRY: dict[str, ArchitectureSpec] = {}
+
+
+def register_architecture(spec: ArchitectureSpec) -> None:
+    """Add (or replace) an architecture in the registry."""
+    _REGISTRY[spec.name] = spec
+
+
+def get_architecture(name: str) -> ArchitectureSpec:
+    """Look up a named architecture."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown architecture {name!r}; known: {sorted(_REGISTRY)}") from None
+
+
+def list_architectures() -> list[str]:
+    """Names of all registered architectures."""
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# The study's devices.  Rates are tuned so full-scale inputs (1080p images,
+# millions of triangles) land near the paper's reported frame rates, and so
+# the CPU/GPU orderings of Tables 1-8 hold.
+# ---------------------------------------------------------------------------
+
+register_architecture(
+    ArchitectureSpec(
+        name="cpu1-surface",
+        kind="cpu",
+        description="LLNL Surface node: 2x Intel Xeon E5-2670 (Sandy Bridge), 16 threads",
+        # Rates are the reciprocals of the paper's Table 17 CPU1 coefficients.
+        build_rate=1.86e7,
+        traversal_rate=5.4e8,
+        shade_rate=2.9e7,
+        cull_rate=7.8e7,
+        raster_rate=5.1e8,
+        cell_rate=2.7e9,
+        sample_rate=2.2e8,
+        kernel_overhead_seconds=5e-5,
+        noise_sigma=0.08,
+    )
+)
+
+register_architecture(
+    ArchitectureSpec(
+        name="gpu1-k40m",
+        kind="gpu",
+        description="NVIDIA Tesla K40m (LLNL Surface)",
+        # Rates are the reciprocals of the paper's Table 17 GPU1 coefficients.
+        build_rate=7.6e7,
+        traversal_rate=2.75e9,
+        shade_rate=4.7e8,
+        cull_rate=4.8e8,
+        raster_rate=2.7e9,
+        cell_rate=7.0e9,
+        sample_rate=9.3e8,
+        kernel_overhead_seconds=2e-5,
+        noise_sigma=0.06,
+    )
+)
+
+register_architecture(
+    ArchitectureSpec(
+        name="gpu2-titan-k20",
+        kind="gpu",
+        description="NVIDIA Tesla K20 (ORNL Titan)",
+        # Roughly 80 percent of the K40m rates (fewer SMX units, lower clock).
+        build_rate=6.0e7,
+        traversal_rate=2.2e9,
+        shade_rate=3.8e8,
+        cull_rate=3.8e8,
+        raster_rate=2.2e9,
+        cell_rate=5.6e9,
+        sample_rate=7.4e8,
+        kernel_overhead_seconds=2e-5,
+        noise_sigma=0.07,
+    )
+)
+
+# Chapter II / III desktop and co-processor devices (used by the substrate
+# validation benchmarks, Tables 1-8).
+register_architecture(
+    ArchitectureSpec(
+        name="gpu-titan-black",
+        kind="gpu",
+        description="GeForce GTX Titan Black (GPU1 of Chapter II)",
+        build_rate=3.0e7,
+        traversal_rate=1.9e9,
+        shade_rate=5.5e8,
+        cull_rate=3.0e9,
+        raster_rate=1.2e9,
+        cell_rate=3.0e9,
+        sample_rate=3.0e8,
+        kernel_overhead_seconds=1.5e-5,
+        noise_sigma=0.05,
+    )
+)
+register_architecture(
+    ArchitectureSpec(
+        name="gpu-k40-maverick",
+        kind="gpu",
+        description="Tesla K40 (TACC Maverick, GPU2 of Chapter II)",
+        build_rate=2.5e7,
+        traversal_rate=1.25e9,
+        shade_rate=3.6e8,
+        cull_rate=2.5e9,
+        raster_rate=1.0e9,
+        cell_rate=2.5e9,
+        sample_rate=2.5e8,
+        kernel_overhead_seconds=2e-5,
+        noise_sigma=0.06,
+    )
+)
+register_architecture(
+    ArchitectureSpec(
+        name="gpu-750ti",
+        kind="gpu",
+        description="GeForce GTX 750Ti (GPU3 of Chapter II)",
+        build_rate=1.0e7,
+        traversal_rate=6.5e8,
+        shade_rate=1.9e8,
+        cull_rate=1.0e9,
+        raster_rate=4.0e8,
+        cell_rate=1.0e9,
+        sample_rate=1.0e8,
+        kernel_overhead_seconds=1.5e-5,
+        noise_sigma=0.06,
+    )
+)
+register_architecture(
+    ArchitectureSpec(
+        name="gpu-620m",
+        kind="gpu",
+        description="GeForce GT 620M laptop GPU (GPU4 of Chapter II)",
+        build_rate=2.0e6,
+        traversal_rate=8.0e7,
+        shade_rate=3.0e7,
+        cull_rate=2.0e8,
+        raster_rate=6.0e7,
+        cell_rate=2.0e8,
+        sample_rate=2.0e7,
+        kernel_overhead_seconds=3e-5,
+        noise_sigma=0.08,
+    )
+)
+register_architecture(
+    ArchitectureSpec(
+        name="cpu-i7-4770k",
+        kind="cpu",
+        description="Intel i7 4770K quad core (CPU1 of Chapter II)",
+        build_rate=2.0e6,
+        traversal_rate=5.5e7,
+        shade_rate=1.4e7,
+        cull_rate=1.0e8,
+        raster_rate=7.0e7,
+        cell_rate=4.0e8,
+        sample_rate=3.0e7,
+        kernel_overhead_seconds=2e-5,
+        noise_sigma=0.09,
+    )
+)
+register_architecture(
+    ArchitectureSpec(
+        name="cpu-xeon-e5-2680",
+        kind="cpu",
+        description="Intel Xeon E5-2680 v2, 10 cores (CPU2 of Chapter II)",
+        build_rate=5.0e6,
+        traversal_rate=1.5e8,
+        shade_rate=4.0e7,
+        cull_rate=2.5e8,
+        raster_rate=1.8e8,
+        cell_rate=9.0e8,
+        sample_rate=7.0e7,
+        kernel_overhead_seconds=4e-5,
+        noise_sigma=0.08,
+    )
+)
+register_architecture(
+    ArchitectureSpec(
+        name="mic-phi-openmp",
+        kind="mic",
+        description="Intel Xeon Phi 3120 with the OpenMP back-end (vector units idle)",
+        build_rate=1.5e6,
+        traversal_rate=3.3e7,
+        shade_rate=8.0e6,
+        cull_rate=6.0e7,
+        raster_rate=4.0e7,
+        cell_rate=2.0e8,
+        sample_rate=1.5e7,
+        kernel_overhead_seconds=3e-4,
+        noise_sigma=0.10,
+    )
+)
+register_architecture(
+    ArchitectureSpec(
+        name="mic-phi-ispc",
+        kind="mic",
+        description="Intel Xeon Phi 3120 with the ISPC back-end (vectorized)",
+        build_rate=1.5e6,
+        traversal_rate=2.1e8,
+        shade_rate=5.0e7,
+        cull_rate=3.5e8,
+        raster_rate=2.5e8,
+        cell_rate=1.2e9,
+        sample_rate=9.0e7,
+        kernel_overhead_seconds=3e-4,
+        noise_sigma=0.10,
+    )
+)

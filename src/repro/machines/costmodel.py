@@ -1,0 +1,135 @@
+"""Synthetic per-phase kernel cost model.
+
+This module is the reproduction's stand-in for running the renderers on GPUs
+and other devices that are not physically available (see the substitution
+table in DESIGN.md).  Given
+
+* an :class:`~repro.machines.archspec.ArchitectureSpec`,
+* a rendering technique, and
+* the *observed model-input variables* of a render (objects, active pixels,
+  visible objects, pixels per triangle, samples per ray, cells spanned),
+
+it synthesizes per-phase wall-clock times from the same algorithmic-complexity
+terms the paper's performance models use, applies the device's fixed kernel
+overhead, and perturbs each phase with multiplicative log-normal noise.  The
+synthetic corpus therefore has realistic structure (the right dominant terms,
+the right device orderings, measurement noise) without pretending to be real
+silicon -- exactly what the model-fitting and cross-validation machinery
+(Chapter V) needs in order to be exercised end to end.
+
+Crucially the noise means the fitted coefficients are *not* recovered
+trivially: the regression sees scattered observations just as it would on
+hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machines.archspec import ArchitectureSpec, get_architecture
+from repro.rendering.result import ObservedFeatures
+from repro.util.rng import default_rng
+
+__all__ = ["synthesize_render_time", "KernelCostModel"]
+
+#: Techniques whose phases the cost model knows how to synthesize.
+TECHNIQUES = ("raytrace", "raster", "volume_structured", "volume_unstructured")
+
+
+def _noise(rng: np.random.Generator, sigma: float) -> float:
+    """Multiplicative log-normal noise factor with unit median."""
+    return float(np.exp(rng.normal(0.0, sigma)))
+
+
+def synthesize_render_time(
+    architecture: ArchitectureSpec | str,
+    technique: str,
+    features: ObservedFeatures,
+    rng: np.random.Generator | None = None,
+    include_build: bool = True,
+) -> dict[str, float]:
+    """Synthesize per-phase times for one render on one architecture.
+
+    Parameters
+    ----------
+    architecture:
+        Spec or registered name.
+    technique:
+        ``"raytrace"``, ``"raster"``, ``"volume_structured"``, or
+        ``"volume_unstructured"``.
+    features:
+        Observed (or mapped) model-input variables for the render.
+    rng:
+        Noise stream; a deterministic default is derived from the
+        architecture and technique when omitted.
+    include_build:
+        Include the one-time acceleration-structure build phase for the ray
+        tracer.
+
+    Returns
+    -------
+    dict
+        Phase name to synthesized seconds.
+    """
+    spec = architecture if isinstance(architecture, ArchitectureSpec) else get_architecture(architecture)
+    if technique not in TECHNIQUES:
+        raise ValueError(f"unknown technique {technique!r}; choose from {TECHNIQUES}")
+    rng = rng if rng is not None else default_rng(None, "costmodel", spec.name, technique)
+    overhead = spec.kernel_overhead_seconds
+    objects = max(float(features.objects), 1.0)
+    active_pixels = float(features.active_pixels)
+    phases: dict[str, float] = {}
+
+    if technique == "raytrace":
+        if include_build:
+            phases["bvh_build"] = (objects / spec.build_rate + overhead) * _noise(rng, spec.noise_sigma)
+        traversal_work = active_pixels * np.log2(max(objects, 2.0))
+        phases["trace"] = (traversal_work / spec.traversal_rate + overhead) * _noise(rng, spec.noise_sigma)
+        phases["shade"] = (active_pixels / spec.shade_rate + overhead) * _noise(rng, spec.noise_sigma)
+    elif technique == "raster":
+        visible = float(features.visible_objects)
+        candidates = visible * max(float(features.pixels_per_triangle), 0.0)
+        phases["culling"] = (objects / spec.cull_rate + overhead) * _noise(rng, spec.noise_sigma)
+        phases["rasterize"] = (candidates / spec.raster_rate + overhead) * _noise(rng, spec.noise_sigma)
+    else:  # structured or unstructured volume rendering
+        cell_work = active_pixels * max(float(features.cells_spanned), 1.0)
+        sample_work = active_pixels * max(float(features.samples_per_ray), 0.0)
+        phases["cell_lookup"] = (cell_work / spec.cell_rate + overhead) * _noise(rng, spec.noise_sigma)
+        phases["sampling"] = (sample_work / spec.sample_rate + overhead) * _noise(rng, spec.noise_sigma)
+    return phases
+
+
+@dataclass
+class KernelCostModel:
+    """Stateful wrapper: one architecture, one reproducible noise stream.
+
+    The study harness uses one :class:`KernelCostModel` per (architecture,
+    technique) pair so repeated calls draw successive noise samples from the
+    same deterministic stream.
+    """
+
+    architecture: ArchitectureSpec | str
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        self.spec = (
+            self.architecture
+            if isinstance(self.architecture, ArchitectureSpec)
+            else get_architecture(self.architecture)
+        )
+        self._rng = default_rng(self.seed, "kernel-cost", self.spec.name)
+
+    def phases(self, technique: str, features: ObservedFeatures, include_build: bool = True) -> dict[str, float]:
+        """Synthesized per-phase seconds for one render."""
+        return synthesize_render_time(self.spec, technique, features, self._rng, include_build)
+
+    def total(self, technique: str, features: ObservedFeatures, include_build: bool = True) -> float:
+        """Synthesized total seconds for one render."""
+        return float(sum(self.phases(technique, features, include_build).values()))
+
+    def frames_per_second(self, technique: str, features: ObservedFeatures, include_build: bool = False) -> float:
+        """Convenience: reciprocal of the per-frame time (build excluded by default)."""
+        seconds = self.total(technique, features, include_build)
+        return 1.0 / max(seconds, 1e-12)

@@ -1,0 +1,171 @@
+"""In situ viability analyses (Section 5.9).
+
+Two feasibility questions are answered with the fitted models plus the
+configuration-to-feature mapping:
+
+* :func:`images_within_budget` -- how many images of a given size can each
+  (architecture, technique) render within a fixed time budget (Figure 14)?
+  The BVH build is amortised: it is paid once, then every additional frame
+  costs only the per-frame time.
+* :func:`raytracing_vs_rasterization` -- for a grid of image sizes and data
+  sizes, the ratio of predicted rasterization time to predicted ray-tracing
+  time over a repeated-rendering session (Figure 15).  Values above one mean
+  ray tracing is faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.modeling.features import RenderingConfiguration, map_configuration_to_features
+from repro.modeling.models import CompositingModel, CompositingFeatures, RayTracingModel
+
+__all__ = [
+    "BudgetPoint",
+    "images_within_budget",
+    "raytracing_vs_rasterization",
+]
+
+
+@dataclass
+class BudgetPoint:
+    """One point of the Figure 14 curves."""
+
+    architecture: str
+    technique: str
+    image_size: int
+    seconds_per_image: float
+    images_in_budget: int
+
+
+def _predict_frame_seconds(
+    model: object,
+    config: RenderingConfiguration,
+    compositing_model: CompositingModel | None,
+) -> tuple[float, float]:
+    """(per-frame seconds, one-time seconds) for a configuration via the mapping."""
+    features = map_configuration_to_features(config)
+    if isinstance(model, RayTracingModel):
+        frame = model.predict(features, include_build=False)
+        build = model.predict(features, include_build=True) - frame
+    else:
+        frame = model.predict(features)
+        build = 0.0
+    if compositing_model is not None:
+        comp_features = CompositingFeatures(
+            average_active_pixels=float(features.active_pixels),
+            pixels=config.pixels,
+            num_tasks=config.num_tasks,
+        )
+        frame += compositing_model.predict(comp_features)
+    return max(frame, 1e-12), max(build, 0.0)
+
+
+def images_within_budget(
+    models: dict[tuple[str, str], object],
+    budget_seconds: float = 60.0,
+    num_tasks: int = 32,
+    cells_per_task: int = 200,
+    image_sizes: np.ndarray | None = None,
+    compositing_model: CompositingModel | None = None,
+    samples_in_depth: int = 1000,
+) -> list[BudgetPoint]:
+    """Predict how many images fit in a time budget for every fitted model.
+
+    Parameters
+    ----------
+    models:
+        Mapping of ``(architecture, technique)`` to a fitted model (as
+        returned by :meth:`repro.modeling.study.StudyCorpus.fit_all_models`).
+    budget_seconds:
+        The rendering budget (60 seconds in the paper's example).
+    num_tasks, cells_per_task:
+        The fixed simulation configuration (32 tasks of 200^3 in the paper).
+    image_sizes:
+        Square image edge lengths to sweep (defaults to the paper's
+        1024..4096 range in steps of 128).
+    compositing_model:
+        Optional compositing model added to every frame.
+    """
+    if image_sizes is None:
+        image_sizes = np.arange(1024, 4096 + 1, 128)
+    points: list[BudgetPoint] = []
+    for (architecture, technique), model in sorted(models.items()):
+        for size in image_sizes:
+            config = RenderingConfiguration(
+                technique=technique,
+                architecture=architecture,
+                num_tasks=num_tasks,
+                cells_per_task=cells_per_task,
+                image_width=int(size),
+                image_height=int(size),
+                samples_in_depth=samples_in_depth,
+            )
+            frame, build = _predict_frame_seconds(model, config, compositing_model)
+            remaining = max(budget_seconds - build, 0.0)
+            points.append(
+                BudgetPoint(
+                    architecture=architecture,
+                    technique=technique,
+                    image_size=int(size),
+                    seconds_per_image=frame,
+                    images_in_budget=int(remaining // frame),
+                )
+            )
+    return points
+
+
+def raytracing_vs_rasterization(
+    raytracing_model: RayTracingModel,
+    rasterization_model: object,
+    architecture: str,
+    num_tasks: int = 32,
+    num_renderings: int = 100,
+    image_sizes: np.ndarray | None = None,
+    data_sizes: np.ndarray | None = None,
+) -> dict[str, np.ndarray]:
+    """The Figure 15 heat map: rasterization time / ray-tracing time.
+
+    For each (image size, data size) cell the predicted cost of
+    ``num_renderings`` renderings is computed for both techniques, including
+    the single amortised BVH build for ray tracing.  The returned dictionary
+    holds the two axes and the ratio matrix (``ratio > 1`` means ray tracing
+    produces more images per unit time).
+    """
+    if image_sizes is None:
+        image_sizes = np.arange(384, 4096 + 1, 128)
+    if data_sizes is None:
+        data_sizes = np.arange(100, 500 + 1, 25)
+    ratio = np.zeros((len(data_sizes), len(image_sizes)))
+    for row, cells in enumerate(data_sizes):
+        for column, size in enumerate(image_sizes):
+            rt_config = RenderingConfiguration(
+                technique="raytrace",
+                architecture=architecture,
+                num_tasks=num_tasks,
+                cells_per_task=int(cells),
+                image_width=int(size),
+                image_height=int(size),
+            )
+            rast_config = RenderingConfiguration(
+                technique="raster",
+                architecture=architecture,
+                num_tasks=num_tasks,
+                cells_per_task=int(cells),
+                image_width=int(size),
+                image_height=int(size),
+            )
+            rt_features = map_configuration_to_features(rt_config)
+            rast_features = map_configuration_to_features(rast_config)
+            rt_frame = raytracing_model.predict(rt_features, include_build=False)
+            rt_build = raytracing_model.predict(rt_features, include_build=True) - rt_frame
+            rt_total = rt_build + num_renderings * rt_frame
+            rast_total = num_renderings * rasterization_model.predict(rast_features)
+            ratio[row, column] = rast_total / max(rt_total, 1e-12)
+    return {
+        "image_sizes": np.asarray(image_sizes),
+        "data_sizes": np.asarray(data_sizes),
+        "ratio": ratio,
+    }

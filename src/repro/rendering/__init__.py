@@ -1,0 +1,44 @@
+"""Rendering algorithms: ray tracing, rasterization, volume rendering.
+
+Three data-parallel renderers (the Chapter V techniques) plus the Chapter III
+unstructured volume renderer and the baseline comparators used throughout the
+studies.  All renderers consume :class:`repro.geometry` meshes / scenes and a
+:class:`repro.geometry.transforms.Camera`, and return a
+:class:`repro.rendering.result.RenderResult` carrying the framebuffer,
+per-phase timings, and the observed performance-model input variables.
+"""
+
+from repro.rendering.color import ColorTable, normalize_scalars
+from repro.rendering.framebuffer import Framebuffer
+from repro.rendering.rasterizer import Rasterizer, RasterizerConfig
+from repro.rendering.raytracer import RayTracer, RayTracerConfig, Workload
+from repro.rendering.result import ObservedFeatures, RenderResult
+from repro.rendering.scene import Light, Material, Scene
+from repro.rendering.volume import (
+    StructuredVolumeConfig,
+    StructuredVolumeRenderer,
+    TransferFunction,
+    UnstructuredVolumeConfig,
+    UnstructuredVolumeRenderer,
+)
+
+__all__ = [
+    "ColorTable",
+    "Framebuffer",
+    "Light",
+    "Material",
+    "ObservedFeatures",
+    "Rasterizer",
+    "RasterizerConfig",
+    "RayTracer",
+    "RayTracerConfig",
+    "RenderResult",
+    "Scene",
+    "StructuredVolumeConfig",
+    "StructuredVolumeRenderer",
+    "TransferFunction",
+    "UnstructuredVolumeConfig",
+    "UnstructuredVolumeRenderer",
+    "Workload",
+    "normalize_scalars",
+]

@@ -1,0 +1,106 @@
+"""Color tables (transfer-function color components) and color utilities.
+
+Scientific visualization renders map a scalar field through a color table;
+the study uses a single color table throughout ("we present results from just
+a single transfer function from our pool").  This module provides a small set
+of standard tables ("cool-to-warm", "viridis-like", "grayscale", "rainbow")
+sampled at arbitrary resolution, plus helpers for normalizing scalars.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ColorTable", "normalize_scalars"]
+
+# Control points (position in [0,1], r, g, b) for the built-in tables.
+_TABLES: dict[str, np.ndarray] = {
+    "cool-to-warm": np.array(
+        [
+            [0.0, 0.23, 0.30, 0.75],
+            [0.5, 0.87, 0.87, 0.87],
+            [1.0, 0.71, 0.02, 0.15],
+        ]
+    ),
+    "grayscale": np.array(
+        [
+            [0.0, 0.0, 0.0, 0.0],
+            [1.0, 1.0, 1.0, 1.0],
+        ]
+    ),
+    "rainbow": np.array(
+        [
+            [0.00, 0.0, 0.0, 1.0],
+            [0.25, 0.0, 1.0, 1.0],
+            [0.50, 0.0, 1.0, 0.0],
+            [0.75, 1.0, 1.0, 0.0],
+            [1.00, 1.0, 0.0, 0.0],
+        ]
+    ),
+    "viridis-like": np.array(
+        [
+            [0.00, 0.267, 0.005, 0.329],
+            [0.25, 0.229, 0.322, 0.546],
+            [0.50, 0.128, 0.567, 0.551],
+            [0.75, 0.369, 0.789, 0.383],
+            [1.00, 0.993, 0.906, 0.144],
+        ]
+    ),
+}
+
+
+def normalize_scalars(
+    scalars: np.ndarray, vmin: float | None = None, vmax: float | None = None
+) -> np.ndarray:
+    """Map scalars linearly into [0, 1], clamping outside the given range.
+
+    When the range is degenerate (vmin == vmax) all values map to 0.5.
+    """
+    scalars = np.asarray(scalars, dtype=np.float64)
+    lo = float(np.min(scalars)) if vmin is None else float(vmin)
+    hi = float(np.max(scalars)) if vmax is None else float(vmax)
+    if hi <= lo:
+        return np.full(scalars.shape, 0.5)
+    return np.clip((scalars - lo) / (hi - lo), 0.0, 1.0)
+
+
+class ColorTable:
+    """Piecewise-linear color table sampled by normalized scalar value."""
+
+    def __init__(self, name: str = "cool-to-warm", samples: int = 256) -> None:
+        if name not in _TABLES:
+            raise KeyError(f"unknown color table {name!r}; choose from {sorted(_TABLES)}")
+        if samples < 2:
+            raise ValueError("a color table needs at least two samples")
+        self.name = name
+        control = _TABLES[name]
+        positions = np.linspace(0.0, 1.0, samples)
+        self._rgb = np.column_stack(
+            [np.interp(positions, control[:, 0], control[:, 1 + channel]) for channel in range(3)]
+        )
+
+    @property
+    def num_samples(self) -> int:
+        return self._rgb.shape[0]
+
+    def map(self, normalized: np.ndarray) -> np.ndarray:
+        """Look up RGB colors for normalized values in [0, 1].
+
+        Values are clamped; the return shape is ``normalized.shape + (3,)``.
+        """
+        normalized = np.clip(np.asarray(normalized, dtype=np.float64), 0.0, 1.0)
+        indices = np.minimum(
+            (normalized * (self.num_samples - 1)).astype(np.int64), self.num_samples - 1
+        )
+        return self._rgb[indices]
+
+    def map_scalars(
+        self, scalars: np.ndarray, vmin: float | None = None, vmax: float | None = None
+    ) -> np.ndarray:
+        """Normalize raw scalars against a range and map them to RGB."""
+        return self.map(normalize_scalars(scalars, vmin, vmax))
+
+    @staticmethod
+    def available() -> list[str]:
+        """Names of the built-in tables."""
+        return sorted(_TABLES)

@@ -1,0 +1,5 @@
+"""Object-order rasterizer (the third Chapter V rendering technique)."""
+
+from repro.rendering.rasterizer.raster import Rasterizer, RasterizerConfig
+
+__all__ = ["Rasterizer", "RasterizerConfig"]

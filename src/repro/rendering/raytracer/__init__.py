@@ -1,0 +1,23 @@
+"""Data-parallel ray tracer (Chapter II) and its acceleration structures.
+
+The ray tracer is a breadth-first pipeline composed of data-parallel
+primitives: primary-ray generation (map), BVH traversal and triangle
+intersection (map), optional stream compaction (reduce / scan / gather),
+ambient occlusion (scatter + map), shadow tests (map), shading (map), and
+color accumulation (map / gather).
+
+Public entry points:
+
+* :class:`repro.rendering.raytracer.bvh.LinearBVH` and
+  :class:`~repro.rendering.raytracer.bvh.build_bvh` -- acceleration
+  structures (LBVH in the spirit of Karras 2012; an SAH builder is provided
+  for the specialised-baseline comparisons).
+* :class:`repro.rendering.raytracer.pipeline.RayTracer` -- the renderer,
+  supporting the three study workloads (intersection only, shading, full
+  effects).
+"""
+
+from repro.rendering.raytracer.bvh import BVH, build_bvh
+from repro.rendering.raytracer.pipeline import RayTracer, RayTracerConfig, Workload
+
+__all__ = ["BVH", "RayTracer", "RayTracerConfig", "Workload", "build_bvh"]

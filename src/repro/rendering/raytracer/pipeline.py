@@ -1,0 +1,356 @@
+"""The breadth-first, data-parallel ray-tracing pipeline (Chapter II).
+
+The renderer processes all rays of a generation together through a fixed
+sequence of pipeline stages built from data-parallel primitives:
+
+1. **Primary ray generation** (map) -- one ray per pixel (or four with
+   super-sampling), ordered along a Morton curve of the framebuffer.
+2. **Traversal and intersection** (map) -- BVH traversal and Moller-Trumbore
+   intersection, the "if-if" structure of Aila and Laine.
+3. **Stream compaction** (reduce/scan/gather, optional) -- drop rays that
+   missed all geometry before the more expensive secondary stages.
+4. **Ambient occlusion** (scatter + map) -- a user-defined number of random
+   hemisphere rays per hit with a short maximum distance.
+5. **Shadows** (map) -- one visibility ray per hit per light.
+6. **Shading and accumulation** (map / gather) -- Blinn-Phong plus color-table
+   lookup, accumulated to the framebuffer; super-samples are averaged by a
+   gather (anti-aliasing).
+
+The three study workloads select progressively more of these stages:
+
+* ``Workload.INTERSECTION_ONLY`` (WORKLOAD1) -- stages 1-2, the Mrays/s
+  benchmark configuration.
+* ``Workload.SHADING`` (WORKLOAD2) -- stages 1-2 plus direct shading, the
+  rasterization-equivalent scientific-visualization configuration.
+* ``Workload.FULL`` (WORKLOAD3) -- everything, including four-sample ambient
+  occlusion, shadows, anti-aliasing, and stream compaction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dpp.instrument import InstrumentationScope
+from repro.dpp.primitives import map_field, stream_compact
+from repro.geometry.transforms import Camera
+from repro.rendering.framebuffer import Framebuffer
+from repro.rendering.raytracer.bvh import BVH, DEFAULT_LEAF_SIZE, build_bvh
+from repro.rendering.raytracer.shading import (
+    blinn_phong,
+    hemisphere_samples,
+    interpolate_normals,
+    interpolate_scalars,
+    occlusion_to_ambient,
+)
+from repro.rendering.raytracer.traversal import any_hit, closest_hit
+from repro.rendering.result import ObservedFeatures, RenderResult
+from repro.rendering.scene import Scene
+from repro.util.morton import morton_encode_2d
+from repro.util.rng import default_rng
+from repro.util.timing import Timer
+
+__all__ = ["Workload", "RayTracerConfig", "RayTracer"]
+
+
+class Workload(enum.Enum):
+    """The three ray-tracing workloads of the study (Section 2.5)."""
+
+    INTERSECTION_ONLY = 1
+    SHADING = 2
+    FULL = 3
+
+
+@dataclass
+class RayTracerConfig:
+    """Tunable parameters of the ray tracer.
+
+    Attributes
+    ----------
+    workload:
+        Which study workload to execute.
+    ao_samples:
+        Hemisphere samples per hit for ambient occlusion (WORKLOAD3).
+    ao_distance_fraction:
+        AO ray maximum distance as a fraction of the scene diagonal.
+    supersample:
+        Rays per pixel; 4 enables the study's anti-aliasing.
+    compaction:
+        Enable stream compaction of dead rays before secondary stages.
+    bvh_method / leaf_size:
+        Acceleration structure build options.
+    reflections:
+        Optional single-bounce specular reflections (off in all study
+        workloads; provided as the paper's algorithm supports them).
+    seed:
+        RNG seed for the AO sample directions.
+    """
+
+    workload: Workload = Workload.SHADING
+    ao_samples: int = 4
+    ao_distance_fraction: float = 0.05
+    supersample: int = 1
+    compaction: bool = False
+    bvh_method: str = "lbvh"
+    leaf_size: int = DEFAULT_LEAF_SIZE
+    reflections: bool = False
+    reflection_attenuation: float = 0.3
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.workload, int):
+            self.workload = Workload(self.workload)
+        if self.supersample not in (1, 4):
+            raise ValueError("supersample must be 1 or 4")
+        if self.ao_samples < 1:
+            raise ValueError("ao_samples must be positive")
+
+
+@dataclass
+class RayTracer:
+    """Data-parallel ray tracer over a triangle :class:`~repro.rendering.scene.Scene`.
+
+    The BVH is built lazily on first use and cached, so repeated renders of
+    the same scene amortise the build exactly as the repeated-rendering use
+    cases of Section 5.9 assume.
+    """
+
+    scene: Scene
+    config: RayTracerConfig = field(default_factory=RayTracerConfig)
+    _bvh: BVH | None = None
+    _bvh_seconds: float = 0.0
+
+    # -- acceleration structure ---------------------------------------------------
+    def build_acceleration_structure(self, force: bool = False) -> BVH:
+        """Build (or return the cached) BVH, recording its build time."""
+        if self._bvh is None or force:
+            with Timer() as timer:
+                self._bvh = build_bvh(
+                    self.scene.mesh, leaf_size=self.config.leaf_size, method=self.config.bvh_method
+                )
+            self._bvh_seconds = timer.elapsed
+        return self._bvh
+
+    # -- ray generation --------------------------------------------------------------
+    def _morton_pixel_order(self, camera: Camera) -> np.ndarray:
+        """Pixel ids sorted along a Morton curve of the framebuffer."""
+        pixel_ids = np.arange(camera.width * camera.height, dtype=np.int64)
+        px = (pixel_ids % camera.width).astype(np.uint32)
+        py = (pixel_ids // camera.width).astype(np.uint32)
+        codes = morton_encode_2d(px, py)
+        return pixel_ids[np.argsort(codes, kind="stable")]
+
+    def _generate_rays(self, camera: Camera) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Primary rays in Morton order; returns (pixel_ids, origins, directions).
+
+        With 4x super-sampling each pixel id appears four times with jittered
+        sub-pixel positions.
+        """
+        ordered_pixels = self._morton_pixel_order(camera)
+        if self.config.supersample == 1:
+            origins, directions = camera.generate_rays(ordered_pixels)
+            return ordered_pixels, origins, directions
+        # Four-ray super-sampling: jitter by generating rays on a double-res
+        # camera and mapping each fine pixel back to its coarse parent.
+        fine = Camera(
+            position=camera.position,
+            look_at=camera.look_at,
+            up=camera.up,
+            fov_y_degrees=camera.fov_y_degrees,
+            width=camera.width * 2,
+            height=camera.height * 2,
+            near=camera.near,
+            far=camera.far,
+        )
+        fine_ids = np.arange(fine.width * fine.height, dtype=np.int64)
+        fx = fine_ids % fine.width
+        fy = fine_ids // fine.width
+        parent = (fy // 2) * camera.width + (fx // 2)
+        order = np.argsort(
+            morton_encode_2d((fx // 2).astype(np.uint32), (fy // 2).astype(np.uint32)),
+            kind="stable",
+        )
+        origins, directions = fine.generate_rays(fine_ids[order])
+        return parent[order], origins, directions
+
+    # -- main entry point ---------------------------------------------------------------
+    def render(self, camera: Camera) -> RenderResult:
+        """Render the scene from ``camera`` and return the image plus measurements."""
+        config = self.config
+        phases: dict[str, float] = {}
+        mesh = self.scene.mesh
+
+        with InstrumentationScope("raytrace.bvh_build"):
+            bvh = self.build_acceleration_structure()
+        phases["bvh_build"] = self._bvh_seconds
+
+        with Timer() as timer, InstrumentationScope("raytrace.ray_generation"):
+            pixel_ids, origins, directions = self._generate_rays(camera)
+        phases["ray_generation"] = timer.elapsed
+
+        with Timer() as timer, InstrumentationScope("raytrace.trace"):
+            hits = closest_hit(bvh, mesh, origins, directions)
+        phases["trace"] = timer.elapsed
+
+        framebuffer = Framebuffer(camera.width, camera.height)
+        features = ObservedFeatures(objects=mesh.num_triangles)
+
+        hit_mask = hits.hit_mask
+        features.active_pixels = int(len(np.unique(pixel_ids[hit_mask])))
+
+        if config.workload is Workload.INTERSECTION_ONLY:
+            # The Mrays/s benchmark writes only the hit distance as grayscale.
+            self._write_depth_image(framebuffer, camera, pixel_ids, hits)
+            return RenderResult(framebuffer, phases, features, technique="raytrace")
+
+        # Optionally compact away rays that missed everything before shading.
+        if config.compaction or config.workload is Workload.FULL:
+            with Timer() as timer, InstrumentationScope("raytrace.compaction"):
+                _, (pixel_ids, origins, directions, tri, t, u, v) = stream_compact(
+                    hit_mask,
+                    pixel_ids,
+                    origins,
+                    directions,
+                    hits.triangle,
+                    hits.t,
+                    hits.u,
+                    hits.v,
+                )
+            phases["compaction"] = timer.elapsed
+        else:
+            keep = hit_mask
+            pixel_ids, origins, directions = pixel_ids[keep], origins[keep], directions[keep]
+            tri, t, u, v = hits.triangle[keep], hits.t[keep], hits.u[keep], hits.v[keep]
+
+        if len(tri) == 0:
+            return RenderResult(framebuffer, phases, features, technique="raytrace")
+
+        with Timer() as timer, InstrumentationScope("raytrace.shade"):
+            points = origins + t[:, None] * directions
+            normals = map_field(lambda tr, uu, vv: interpolate_normals(self.scene, tr, uu, vv), tri, u, v)
+            scalars = interpolate_scalars(self.scene, tri, u, v)
+            vmin, vmax = self.scene.scalar_range or (None, None)
+            base_colors = self.scene.color_table.map_scalars(scalars, vmin, vmax)
+            view_dirs = -directions
+        phases["shade_setup"] = timer.elapsed
+
+        ambient = None
+        visibility = None
+        if config.workload is Workload.FULL:
+            ambient = self._ambient_occlusion(bvh, points, normals, phases)
+            visibility = self._shadows(bvh, points, phases)
+
+        with Timer() as timer, InstrumentationScope("raytrace.shade"):
+            shaded = map_field(
+                lambda p, n, vd, bc: blinn_phong(self.scene, p, n, vd, bc, visibility, ambient),
+                points,
+                normals,
+                view_dirs,
+                base_colors,
+            )
+            if config.reflections:
+                shaded = self._add_reflections(bvh, points, directions, normals, shaded, phases)
+        phases["shade"] = timer.elapsed
+
+        with Timer() as timer, InstrumentationScope("raytrace.accumulate"):
+            self._accumulate(framebuffer, camera, pixel_ids, shaded, t)
+        phases["accumulate"] = timer.elapsed
+        return RenderResult(framebuffer, phases, features, technique="raytrace")
+
+    # -- secondary ray stages ---------------------------------------------------------
+    def _ambient_occlusion(
+        self, bvh: BVH, points: np.ndarray, normals: np.ndarray, phases: dict[str, float]
+    ) -> np.ndarray:
+        """Trace hemispheric occlusion rays and return per-hit ambient factors."""
+        config = self.config
+        with Timer() as timer, InstrumentationScope("raytrace.ambient_occlusion"):
+            rng = default_rng(config.seed, "raytrace-ao")
+            sample_dirs = hemisphere_samples(normals, config.ao_samples, rng)
+            sample_origins = np.repeat(points, config.ao_samples, axis=0)
+            # Offset origins slightly along the normal to avoid self-hits.
+            sample_origins = sample_origins + 1e-4 * np.repeat(normals, config.ao_samples, axis=0)
+            max_distance = config.ao_distance_fraction * max(self.scene.mesh.bounds.diagonal, 1e-12)
+            occluded = any_hit(bvh, self.scene.mesh, sample_origins, sample_dirs, t_max=max_distance)
+            ambient = occlusion_to_ambient(occluded, config.ao_samples)
+        phases["ambient_occlusion"] = timer.elapsed
+        return ambient
+
+    def _shadows(self, bvh: BVH, points: np.ndarray, phases: dict[str, float]) -> np.ndarray:
+        """Trace shadow rays toward every light; returns (n_hits, n_lights) visibility."""
+        with Timer() as timer, InstrumentationScope("raytrace.shadows"):
+            visibility = np.ones((len(points), len(self.scene.lights)))
+            for index, light in enumerate(self.scene.lights):
+                to_light = light.position[None, :] - points
+                distance = np.linalg.norm(to_light, axis=1)
+                distance[distance == 0.0] = 1.0
+                directions = to_light / distance[:, None]
+                origins = points + 1e-4 * directions
+                blocked = any_hit(
+                    bvh, self.scene.mesh, origins, directions, t_max=distance - 1e-3
+                )
+                visibility[blocked, index] = 0.0
+        phases["shadows"] = timer.elapsed
+        return visibility
+
+    def _add_reflections(
+        self,
+        bvh: BVH,
+        points: np.ndarray,
+        directions: np.ndarray,
+        normals: np.ndarray,
+        shaded: np.ndarray,
+        phases: dict[str, float],
+    ) -> np.ndarray:
+        """Single-bounce specular reflections blended into the shaded color."""
+        with Timer() as timer, InstrumentationScope("raytrace.reflections"):
+            reflect_dirs = directions - 2.0 * np.einsum("ij,ij->i", directions, normals)[:, None] * normals
+            origins = points + 1e-4 * reflect_dirs
+            bounce = closest_hit(bvh, self.scene.mesh, origins, reflect_dirs)
+            mask = bounce.hit_mask
+            if np.any(mask):
+                scalars = interpolate_scalars(self.scene, bounce.triangle[mask], bounce.u[mask], bounce.v[mask])
+                vmin, vmax = self.scene.scalar_range or (None, None)
+                bounce_colors = self.scene.color_table.map_scalars(scalars, vmin, vmax)
+                weight = self.config.reflection_attenuation
+                shaded = shaded.copy()
+                shaded[mask] = np.clip((1.0 - weight) * shaded[mask] + weight * bounce_colors, 0.0, 1.0)
+        phases["reflections"] = timer.elapsed
+        return shaded
+
+    # -- framebuffer writes --------------------------------------------------------------
+    def _accumulate(
+        self,
+        framebuffer: Framebuffer,
+        camera: Camera,
+        pixel_ids: np.ndarray,
+        colors: np.ndarray,
+        distances: np.ndarray,
+    ) -> None:
+        """Average super-samples per pixel and write color + depth."""
+        order = np.argsort(pixel_ids, kind="stable")
+        sorted_pixels = pixel_ids[order]
+        sorted_colors = colors[order]
+        sorted_depth = distances[order]
+        unique_pixels, starts, counts = np.unique(sorted_pixels, return_index=True, return_counts=True)
+        summed = np.add.reduceat(sorted_colors, starts, axis=0)
+        averaged = summed / counts[:, None]
+        depth = np.minimum.reduceat(sorted_depth, starts)
+        rgba = np.concatenate([averaged, np.ones((len(averaged), 1))], axis=1)
+        framebuffer.write_pixels(unique_pixels, rgba, depth)
+
+    def _write_depth_image(
+        self, framebuffer: Framebuffer, camera: Camera, pixel_ids: np.ndarray, hits
+    ) -> None:
+        """Grayscale nearest-hit distance image for WORKLOAD1."""
+        mask = hits.hit_mask
+        if not np.any(mask):
+            return
+        t = hits.t[mask]
+        normalized = 1.0 - (t - t.min()) / max(t.max() - t.min(), 1e-12)
+        rgba = np.column_stack([normalized, normalized, normalized, np.ones_like(normalized)])
+        # For super-sampled renders keep the first sample per pixel.
+        pixels = pixel_ids[mask]
+        unique_pixels, first = np.unique(pixels, return_index=True)
+        framebuffer.write_pixels(unique_pixels, rgba[first], t[first])

@@ -1,0 +1,154 @@
+"""Shading for the ray tracer: Blinn-Phong, ambient occlusion, shadows.
+
+WORKLOAD2 of the study shades each hit with the classic Blinn-Phong model
+using the interpolated surface normal and the color-mapped surface scalar;
+WORKLOAD3 adds four-sample ambient occlusion and point-light shadows.  The
+functions here are the map functors used by those pipeline stages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rendering.scene import Scene
+from repro.util.rng import default_rng
+
+__all__ = [
+    "interpolate_normals",
+    "interpolate_scalars",
+    "blinn_phong",
+    "hemisphere_samples",
+    "occlusion_to_ambient",
+]
+
+
+def interpolate_normals(scene: Scene, triangles: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Barycentric interpolation of vertex normals at hit points.
+
+    ``triangles`` indexes the scene mesh; ``u``/``v`` are the barycentric
+    coordinates toward the second and third triangle corner respectively.
+    """
+    mesh = scene.mesh
+    vertex_normals = mesh.vertex_normals()
+    corner_ids = mesh.triangles[triangles]
+    w = 1.0 - u - v
+    normals = (
+        w[:, None] * vertex_normals[corner_ids[:, 0]]
+        + u[:, None] * vertex_normals[corner_ids[:, 1]]
+        + v[:, None] * vertex_normals[corner_ids[:, 2]]
+    )
+    length = np.linalg.norm(normals, axis=1, keepdims=True)
+    length[length == 0.0] = 1.0
+    return normals / length
+
+
+def interpolate_scalars(scene: Scene, triangles: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Barycentric interpolation of the per-vertex surface scalar (0.5 when absent)."""
+    mesh = scene.mesh
+    if mesh.scalars is None:
+        return np.full(len(triangles), 0.5)
+    corner_ids = mesh.triangles[triangles]
+    w = 1.0 - u - v
+    return (
+        w * mesh.scalars[corner_ids[:, 0]]
+        + u * mesh.scalars[corner_ids[:, 1]]
+        + v * mesh.scalars[corner_ids[:, 2]]
+    )
+
+
+def blinn_phong(
+    scene: Scene,
+    points: np.ndarray,
+    normals: np.ndarray,
+    view_directions: np.ndarray,
+    base_colors: np.ndarray,
+    light_visibility: np.ndarray | None = None,
+    ambient_factors: np.ndarray | None = None,
+) -> np.ndarray:
+    """Blinn-Phong shading of hit points.
+
+    Parameters
+    ----------
+    scene:
+        Provides lights and material coefficients.
+    points, normals, view_directions:
+        Per-hit position, unit surface normal, and unit direction from the
+        hit point toward the camera.
+    base_colors:
+        Per-hit RGB albedo (typically from the color table).
+    light_visibility:
+        Optional ``(n_hits, n_lights)`` visibility factors in [0, 1]; use the
+        shadow-ray results here.  Defaults to fully visible.
+    ambient_factors:
+        Optional per-hit ambient attenuation in [0, 1]; use the ambient-
+        occlusion results here.  Defaults to 1.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_hits, 3)`` shaded RGB colors clamped to [0, 1].
+    """
+    material = scene.material
+    n_hits = len(points)
+    if ambient_factors is None:
+        ambient_factors = np.ones(n_hits)
+    if light_visibility is None:
+        light_visibility = np.ones((n_hits, len(scene.lights)))
+
+    # Surfaces in scientific visualization are shaded double-sided: flip
+    # normals that face away from the viewer.
+    facing = np.einsum("ij,ij->i", normals, view_directions)
+    normals = np.where(facing[:, None] < 0.0, -normals, normals)
+
+    color = material.ambient * ambient_factors[:, None] * base_colors
+    for light_index, light in enumerate(scene.lights):
+        to_light = light.position[None, :] - points
+        distance = np.linalg.norm(to_light, axis=1, keepdims=True)
+        distance[distance == 0.0] = 1.0
+        light_dir = to_light / distance
+        n_dot_l = np.clip(np.einsum("ij,ij->i", normals, light_dir), 0.0, 1.0)
+        half_vector = light_dir + view_directions
+        half_norm = np.linalg.norm(half_vector, axis=1, keepdims=True)
+        half_norm[half_norm == 0.0] = 1.0
+        half_vector = half_vector / half_norm
+        n_dot_h = np.clip(np.einsum("ij,ij->i", normals, half_vector), 0.0, 1.0)
+        visibility = light_visibility[:, light_index] * light.intensity
+        diffuse = material.diffuse * n_dot_l * visibility
+        specular = material.specular * np.power(n_dot_h, material.shininess) * visibility
+        color = color + diffuse[:, None] * base_colors + specular[:, None]
+    return np.clip(color, 0.0, 1.0)
+
+
+def hemisphere_samples(
+    normals: np.ndarray, samples_per_point: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Cosine-ish random directions about each normal for ambient occlusion.
+
+    Returns an array of shape ``(n_points * samples_per_point, 3)`` where the
+    block of ``samples_per_point`` consecutive rows belongs to one input
+    point -- matching the scatter layout of the paper's AO stage ("scatter
+    them into an array n times larger than the input array").
+    """
+    if samples_per_point < 1:
+        raise ValueError("samples_per_point must be positive")
+    rng = rng if rng is not None else default_rng(None, "ao")
+    n_points = len(normals)
+    raw = rng.standard_normal((n_points, samples_per_point, 3))
+    raw /= np.linalg.norm(raw, axis=2, keepdims=True)
+    # Flip samples into the hemisphere of the normal.
+    alignment = np.einsum("ijk,ik->ij", raw, normals)
+    raw = np.where(alignment[..., None] < 0.0, -raw, raw)
+    # Bias slightly toward the normal to avoid grazing self-intersections.
+    biased = raw + 0.5 * normals[:, None, :]
+    biased /= np.linalg.norm(biased, axis=2, keepdims=True)
+    return biased.reshape(n_points * samples_per_point, 3)
+
+
+def occlusion_to_ambient(occluded: np.ndarray, samples_per_point: int) -> np.ndarray:
+    """Convert per-sample occlusion flags into a per-point ambient factor.
+
+    ``occluded`` has one flag per AO sample ray (grouped per point); the
+    ambient factor is the fraction of unoccluded samples.
+    """
+    occluded = np.asarray(occluded, dtype=np.float64).reshape(-1, samples_per_point)
+    return 1.0 - occluded.mean(axis=1)

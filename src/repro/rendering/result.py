@@ -1,0 +1,88 @@
+"""Render results: framebuffer plus the measurements the performance models need.
+
+Every renderer in :mod:`repro.rendering` returns a :class:`RenderResult`
+containing
+
+* the :class:`~repro.rendering.framebuffer.Framebuffer`,
+* per-phase wall-clock times (the regression targets), and
+* the *observed model input variables* of Section 5.3 -- Objects, Active
+  Pixels, Visible Objects, Pixels Per Triangle, Samples Per Ray, Cells
+  Spanned -- so the study harness can fit models against observed inputs and
+  the mapping of Section 5.8 can be validated against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rendering.framebuffer import Framebuffer
+
+__all__ = ["ObservedFeatures", "RenderResult"]
+
+
+@dataclass
+class ObservedFeatures:
+    """Observed values of the model input variables for one local render.
+
+    Attributes mirror Section 5.3's variable list.  Variables that do not
+    apply to a renderer are left at zero (e.g. ``samples_per_ray`` for the
+    ray tracer).
+    """
+
+    objects: int = 0
+    active_pixels: int = 0
+    visible_objects: int = 0
+    pixels_per_triangle: float = 0.0
+    samples_per_ray: float = 0.0
+    cells_spanned: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        """Dictionary keyed by the short names used in the model equations."""
+        return {
+            "O": float(self.objects),
+            "AP": float(self.active_pixels),
+            "VO": float(self.visible_objects),
+            "PPT": float(self.pixels_per_triangle),
+            "SPR": float(self.samples_per_ray),
+            "CS": float(self.cells_spanned),
+        }
+
+
+@dataclass
+class RenderResult:
+    """Output of one local render.
+
+    Attributes
+    ----------
+    framebuffer:
+        The rendered image.
+    phase_seconds:
+        Wall-clock seconds per algorithm phase (e.g. ``bvh_build``,
+        ``trace``, ``shade`` for the ray tracer).
+    features:
+        Observed model-input variables for this render.
+    technique:
+        Short name of the renderer (``"raytrace"``, ``"raster"``,
+        ``"volume_structured"``, ``"volume_unstructured"``).
+    """
+
+    framebuffer: Framebuffer
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    features: ObservedFeatures = field(default_factory=ObservedFeatures)
+    technique: str = ""
+
+    @property
+    def total_seconds(self) -> float:
+        """Total rendering time (sum of every phase)."""
+        return float(sum(self.phase_seconds.values()))
+
+    def seconds_excluding(self, *phases: str) -> float:
+        """Total time with the named phases removed.
+
+        The ray-tracing model separates the one-time BVH build from the
+        per-frame cost (Eq. 5.1), so repeated-render analyses exclude the
+        ``bvh_build`` phase through this helper.
+        """
+        return float(
+            sum(seconds for name, seconds in self.phase_seconds.items() if name not in phases)
+        )

@@ -1,0 +1,78 @@
+"""Scene description shared by the surface renderers.
+
+A :class:`Scene` bundles the triangle geometry with the lights and material
+parameters used for shading, and with the color table that maps the surface
+scalar.  The ray tracer and the rasterizer consume the same scene object so
+their images (and the feasibility comparisons built on them, Figure 15) are
+directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.triangles import TriangleMesh
+from repro.rendering.color import ColorTable
+
+__all__ = ["Light", "Material", "Scene"]
+
+
+@dataclass
+class Light:
+    """A point light with an intensity in [0, 1]."""
+
+    position: np.ndarray
+    intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=np.float64)
+        if self.position.shape != (3,):
+            raise ValueError("light position must be a 3-vector")
+        if not 0.0 <= self.intensity <= 10.0:
+            raise ValueError("light intensity out of range")
+
+
+@dataclass
+class Material:
+    """Blinn-Phong material coefficients."""
+
+    ambient: float = 0.25
+    diffuse: float = 0.65
+    specular: float = 0.2
+    shininess: float = 16.0
+
+
+@dataclass
+class Scene:
+    """Triangle geometry plus lighting for the surface renderers."""
+
+    mesh: TriangleMesh
+    lights: list[Light] = field(default_factory=list)
+    material: Material = field(default_factory=Material)
+    color_table: ColorTable = field(default_factory=ColorTable)
+    scalar_range: tuple[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.lights:
+            # Default headlight placed above and diagonal to the geometry.
+            bounds = self.mesh.bounds
+            offset = np.array([1.0, 1.5, 1.0]) * max(bounds.diagonal, 1.0)
+            self.lights = [Light(bounds.center + offset)]
+        if self.scalar_range is None and self.mesh.scalars is not None and len(self.mesh.scalars):
+            self.scalar_range = (
+                float(np.min(self.mesh.scalars)),
+                float(np.max(self.mesh.scalars)),
+            )
+
+    @property
+    def num_triangles(self) -> int:
+        return self.mesh.num_triangles
+
+    def vertex_colors(self) -> np.ndarray:
+        """Per-vertex RGB colors from the scalar field (flat gray without scalars)."""
+        if self.mesh.scalars is None:
+            return np.full((self.mesh.num_vertices, 3), 0.7)
+        vmin, vmax = self.scalar_range if self.scalar_range else (None, None)
+        return self.color_table.map_scalars(self.mesh.scalars, vmin, vmax)

@@ -1,0 +1,16 @@
+"""Volume renderers: structured ray casting and unstructured multi-pass sampling."""
+
+from repro.rendering.volume.transfer_function import TransferFunction
+from repro.rendering.volume.structured import StructuredVolumeRenderer, StructuredVolumeConfig
+from repro.rendering.volume.unstructured import (
+    UnstructuredVolumeRenderer,
+    UnstructuredVolumeConfig,
+)
+
+__all__ = [
+    "StructuredVolumeConfig",
+    "StructuredVolumeRenderer",
+    "TransferFunction",
+    "UnstructuredVolumeConfig",
+    "UnstructuredVolumeRenderer",
+]

@@ -1,0 +1,187 @@
+"""Structured-grid volume renderer (ray caster).
+
+This is the Chapter V volume renderer: "a ray caster for regular grids".  Each
+pixel casts a ray through the uniform grid; samples are taken at regular steps
+between the ray's entry and exit points, classified through the transfer
+function, and composited front to back with early ray termination.
+
+The performance model (Eq. 5.3) splits the cost into a cell-frequency term
+(``c0 * AP * CS`` -- locating and loading cell data) and a sample-frequency
+term (``c1 * AP * SPR`` -- interpolation and compositing); the renderer
+reports the observed ``AP``, ``SPR``, and ``CS`` values accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dpp.instrument import InstrumentationScope
+from repro.geometry.mesh import UniformGrid
+from repro.geometry.transforms import Camera
+from repro.rendering.framebuffer import Framebuffer
+from repro.rendering.result import ObservedFeatures, RenderResult
+from repro.rendering.volume.transfer_function import TransferFunction
+from repro.util.timing import Timer
+
+__all__ = ["StructuredVolumeConfig", "StructuredVolumeRenderer"]
+
+
+@dataclass
+class StructuredVolumeConfig:
+    """Tunable parameters of the structured volume renderer.
+
+    Attributes
+    ----------
+    samples_in_depth:
+        Number of sample steps across the volume diagonal (the study uses
+        1000 at full scale; the default here is sized for the reproduction's
+        smaller images).
+    early_termination_alpha:
+        Accumulated opacity at which a ray stops sampling.
+    sample_chunk:
+        Number of depth samples composited per vectorized slab, bounding
+        memory use.
+    """
+
+    samples_in_depth: int = 200
+    early_termination_alpha: float = 0.98
+    sample_chunk: int = 32
+
+
+@dataclass
+class StructuredVolumeRenderer:
+    """Ray-casting volume renderer for :class:`~repro.geometry.mesh.UniformGrid` data."""
+
+    grid: UniformGrid
+    field_name: str
+    transfer_function: TransferFunction | None = None
+    config: StructuredVolumeConfig = field(default_factory=StructuredVolumeConfig)
+
+    def __post_init__(self) -> None:
+        if self.field_name not in self.grid.point_fields:
+            raise KeyError(f"grid has no point field named {self.field_name!r}")
+        if self.transfer_function is None:
+            values = np.asarray(self.grid.point_fields[self.field_name])
+            self.transfer_function = TransferFunction(
+                scalar_range=(float(values.min()), float(values.max())),
+                unit_distance=max(self.grid.bounds.diagonal / 100.0, 1e-12),
+            )
+        self._volume = self.grid.point_field_as_volume(self.field_name)
+
+    # -- sampling helpers -----------------------------------------------------------
+    def _ray_box_interval(
+        self, origins: np.ndarray, directions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Entry/exit parameters of each ray with the grid bounds (clamped at 0)."""
+        bounds = self.grid.bounds
+        inv = np.where(np.abs(directions) < 1e-300, 1e300, 1.0 / np.where(directions == 0, 1.0, directions))
+        t0 = (bounds.low[None, :] - origins) * inv
+        t1 = (bounds.high[None, :] - origins) * inv
+        t_near = np.maximum(np.minimum(t0, t1).max(axis=1), 0.0)
+        t_far = np.maximum(t0, t1).min(axis=1)
+        return t_near, t_far
+
+    def _trilinear(self, positions: np.ndarray) -> np.ndarray:
+        """Trilinearly interpolate the point field at world positions."""
+        grid = self.grid
+        nx, ny, nz = grid.dims
+        coords = (positions - grid.origin[None, :]) / grid.spacing[None, :]
+        coords[:, 0] = np.clip(coords[:, 0], 0.0, nx - 1.000001)
+        coords[:, 1] = np.clip(coords[:, 1], 0.0, ny - 1.000001)
+        coords[:, 2] = np.clip(coords[:, 2], 0.0, nz - 1.000001)
+        i0 = coords.astype(np.int64)
+        frac = coords - i0
+        ix, iy, iz = i0[:, 0], i0[:, 1], i0[:, 2]
+        fx, fy, fz = frac[:, 0], frac[:, 1], frac[:, 2]
+        volume = self._volume
+        c000 = volume[iz, iy, ix]
+        c100 = volume[iz, iy, ix + 1]
+        c010 = volume[iz, iy + 1, ix]
+        c110 = volume[iz, iy + 1, ix + 1]
+        c001 = volume[iz + 1, iy, ix]
+        c101 = volume[iz + 1, iy, ix + 1]
+        c011 = volume[iz + 1, iy + 1, ix]
+        c111 = volume[iz + 1, iy + 1, ix + 1]
+        c00 = c000 * (1 - fx) + c100 * fx
+        c10 = c010 * (1 - fx) + c110 * fx
+        c01 = c001 * (1 - fx) + c101 * fx
+        c11 = c011 * (1 - fx) + c111 * fx
+        c0 = c00 * (1 - fy) + c10 * fy
+        c1 = c01 * (1 - fy) + c11 * fy
+        return c0 * (1 - fz) + c1 * fz
+
+    # -- main entry point -----------------------------------------------------------------
+    def render(self, camera: Camera) -> RenderResult:
+        """Volume render the grid from ``camera``."""
+        config = self.config
+        phases: dict[str, float] = {}
+        framebuffer = Framebuffer(camera.width, camera.height)
+        features = ObservedFeatures(objects=self.grid.num_cells)
+
+        with Timer() as timer, InstrumentationScope("volume.ray_setup"):
+            pixel_ids = np.arange(camera.width * camera.height, dtype=np.int64)
+            origins, directions = camera.generate_rays(pixel_ids)
+            t_near, t_far = self._ray_box_interval(origins, directions)
+            active = t_far > t_near
+        phases["ray_setup"] = timer.elapsed
+
+        active_ids = np.flatnonzero(active)
+        features.active_pixels = int(len(active_ids))
+        features.cells_spanned = int(max(self.grid.cell_dims))
+        if len(active_ids) == 0:
+            return RenderResult(framebuffer, phases, features, technique="volume_structured")
+
+        step = self.grid.bounds.diagonal / config.samples_in_depth
+        tf = self.transfer_function
+
+        with Timer() as timer, InstrumentationScope("volume.sampling"):
+            origins = origins[active_ids]
+            directions = directions[active_ids]
+            near = t_near[active_ids]
+            far = t_far[active_ids]
+            max_samples = int(np.ceil((far - near).max() / step))
+            accum_rgb = np.zeros((len(active_ids), 3))
+            accum_alpha = np.zeros(len(active_ids))
+            samples_taken = 0
+            alive = np.arange(len(active_ids))
+            for start in range(0, max_samples, config.sample_chunk):
+                if len(alive) == 0:
+                    break
+                count = min(config.sample_chunk, max_samples - start)
+                offsets = (start + np.arange(count) + 0.5) * step
+                t = near[alive][:, None] + offsets[None, :]
+                inside = t < far[alive][:, None]
+                if not np.any(inside):
+                    break
+                positions = (
+                    origins[alive][:, None, :] + t[..., None] * directions[alive][:, None, :]
+                ).reshape(-1, 3)
+                scalars = self._trilinear(positions).reshape(len(alive), count)
+                rgb, alpha = tf.sample(scalars, step_length=step)
+                alpha = np.where(inside, alpha, 0.0)
+                samples_taken += int(inside.sum())
+                # Front-to-back compositing across this slab of samples.
+                transparency = np.cumprod(1.0 - alpha, axis=1)
+                leading = np.concatenate(
+                    [np.ones((len(alive), 1)), transparency[:, :-1]], axis=1
+                )
+                weights = (1.0 - accum_alpha[alive])[:, None] * leading * alpha
+                accum_rgb[alive] += np.einsum("ij,ijk->ik", weights, rgb)
+                accum_alpha[alive] = 1.0 - (1.0 - accum_alpha[alive]) * transparency[:, -1]
+                # Early ray termination between slabs.
+                alive = alive[accum_alpha[alive] < config.early_termination_alpha]
+        phases["sampling"] = timer.elapsed
+        features.samples_per_ray = samples_taken / max(len(active_ids), 1)
+
+        with Timer() as timer, InstrumentationScope("volume.compositing"):
+            rgba = np.concatenate([accum_rgb, accum_alpha[:, None]], axis=1)
+            depth = np.where(accum_alpha > 0.0, near, np.inf)
+            framebuffer.write_pixels(active_ids, rgba, depth)
+        phases["compositing"] = timer.elapsed
+        return RenderResult(framebuffer, phases, features, technique="volume_structured")
+
+    def visibility_depth(self, camera: Camera) -> float:
+        """Distance from the camera to the volume center (for visibility ordering)."""
+        return float(np.linalg.norm(self.grid.bounds.center - camera.position))

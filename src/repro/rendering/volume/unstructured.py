@@ -1,0 +1,344 @@
+"""Unstructured (tetrahedral) volume renderer via multi-pass sampling (Chapter III).
+
+The algorithm populates a ``width x height x samples`` buffer of scalar
+samples and composites it in depth.  To bound memory it can split the sample
+buffer into multiple passes over depth; each pass runs four phases built from
+data-parallel primitives exactly as Algorithm 2 of the dissertation describes:
+
+1. **Pass selection** -- map a threshold over the per-tet depth ranges, reduce
+   to count the active tets, exclusive-scan + reverse-index + gather to build
+   the compacted active-tet list.
+2. **Screen-space transformation** -- map the active tets' vertices through
+   the camera transform.
+3. **Sampling** -- for every active tet, visit the (pixel, depth-slot) samples
+   inside its screen-space bounding box, run an inside test via barycentric
+   coordinates, and write interpolated scalars into the sample buffer.  The
+   sampler consults the per-pixel opacity so fully opaque pixels stop
+   generating work (the analogue of early ray termination).
+4. **Compositing** -- map over the sample buffer front to back, accumulating
+   color and opacity per pixel.
+
+An initialization step (run once) computes the per-tet depth ranges used by
+pass selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dpp.instrument import InstrumentationScope
+from repro.dpp.primitives import exclusive_scan, gather, map_field, reduce_field, reverse_index
+from repro.geometry.mesh import UnstructuredTetMesh
+from repro.geometry.transforms import Camera
+from repro.rendering.framebuffer import Framebuffer
+from repro.rendering.result import ObservedFeatures, RenderResult
+from repro.rendering.volume.transfer_function import TransferFunction
+from repro.util.packing import chunk_ranges, segment_local_indices
+from repro.util.timing import Timer
+
+__all__ = ["UnstructuredVolumeConfig", "UnstructuredVolumeRenderer"]
+
+
+@dataclass
+class UnstructuredVolumeConfig:
+    """Tunable parameters of the unstructured volume renderer.
+
+    Attributes
+    ----------
+    samples_in_depth:
+        Total number of depth slots in the sample buffer (1000 in the paper's
+        full-scale study).
+    num_passes:
+        How many passes the depth range is split into; more passes mean less
+        memory per pass plus the opportunity for early ray termination
+        between passes.
+    early_termination_alpha:
+        Per-pixel opacity at which further samples are skipped.
+    pair_chunk:
+        Maximum number of candidate (tet, sample) pairs evaluated per batch.
+    """
+
+    samples_in_depth: int = 200
+    num_passes: int = 1
+    early_termination_alpha: float = 0.98
+    pair_chunk: int = 4_000_000
+
+    def __post_init__(self) -> None:
+        if self.samples_in_depth < 1:
+            raise ValueError("samples_in_depth must be positive")
+        if self.num_passes < 1:
+            raise ValueError("num_passes must be positive")
+        if not 0.0 < self.early_termination_alpha <= 1.0:
+            raise ValueError("early_termination_alpha must be in (0, 1]")
+
+
+@dataclass
+class UnstructuredVolumeRenderer:
+    """Multi-pass sampling volume renderer for tetrahedral meshes."""
+
+    mesh: UnstructuredTetMesh
+    field_name: str
+    transfer_function: TransferFunction | None = None
+    config: UnstructuredVolumeConfig = field(default_factory=UnstructuredVolumeConfig)
+
+    def __post_init__(self) -> None:
+        if self.field_name not in self.mesh.point_fields:
+            raise KeyError(f"mesh has no point field named {self.field_name!r}")
+        if self.transfer_function is None:
+            values = np.asarray(self.mesh.point_fields[self.field_name])
+            self.transfer_function = TransferFunction(
+                scalar_range=(float(values.min()), float(values.max())),
+                unit_distance=max(self.mesh.bounds.diagonal / 100.0, 1e-12),
+            )
+
+    # -- phases ------------------------------------------------------------------------
+    def _initialization(self, camera: Camera) -> tuple[np.ndarray, np.ndarray, np.ndarray, float, float]:
+        """Per-tet screen vertices plus depth-slot ranges (the init step of Algorithm 2)."""
+        points = self.mesh.points()
+        screen, _ = camera.world_to_screen(points)
+        depth = camera.depth_along_view(points)
+        corner = self.mesh.connectivity
+        tet_screen_xy = screen[corner][..., :2]            # (nt, 4, 2)
+        tet_depth = depth[corner]                           # (nt, 4)
+        depth_min = float(depth.min())
+        depth_max = float(depth.max())
+        return tet_screen_xy, tet_depth, corner, depth_min, depth_max
+
+    def _pass_selection(self, slot_low: np.ndarray, slot_high: np.ndarray, first_slot: int, last_slot: int) -> np.ndarray:
+        """Compacted indices of tets overlapping the pass's depth-slot range."""
+        flags = map_field(
+            lambda lo, hi: ((hi >= first_slot) & (lo < last_slot)).astype(np.int64),
+            slot_low,
+            slot_high,
+        )
+        count = int(reduce_field(flags, "add"))
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        scanned = exclusive_scan(flags)
+        indices = reverse_index(scanned, flags.astype(bool))
+        return gather(np.arange(len(flags), dtype=np.int64), indices)
+
+    # -- main entry point -----------------------------------------------------------------
+    def render(self, camera: Camera) -> RenderResult:
+        """Volume render the tetrahedral mesh from ``camera``."""
+        config = self.config
+        phases = {
+            "initialization": 0.0,
+            "pass_selection": 0.0,
+            "screen_space": 0.0,
+            "sampling": 0.0,
+            "compositing": 0.0,
+        }
+        framebuffer = Framebuffer(camera.width, camera.height)
+        features = ObservedFeatures(objects=self.mesh.num_cells)
+        num_pixels = camera.width * camera.height
+        total_slots = config.samples_in_depth
+
+        with Timer() as timer, InstrumentationScope("volume.initialization"):
+            tet_screen_xy, tet_depth, corner, depth_min, depth_max = self._initialization(camera)
+            depth_extent = max(depth_max - depth_min, 1e-12)
+            slot_of_depth = lambda d: (d - depth_min) / depth_extent * total_slots
+            tet_slots = slot_of_depth(tet_depth)
+            slot_low = tet_slots.min(axis=1)
+            slot_high = tet_slots.max(axis=1)
+            scalars = np.asarray(self.mesh.point_fields[self.field_name], dtype=np.float64)
+            tet_scalars = scalars[corner]
+        phases["initialization"] = timer.elapsed
+
+        accum_rgb = np.zeros((num_pixels, 3))
+        accum_alpha = np.zeros(num_pixels)
+        step_length = depth_extent / total_slots
+        slots_per_pass = int(np.ceil(total_slots / config.num_passes))
+        samples_with_data = 0
+        cells_touched_max = 0
+
+        for pass_index in range(config.num_passes):
+            first_slot = pass_index * slots_per_pass
+            last_slot = min(first_slot + slots_per_pass, total_slots)
+            if first_slot >= last_slot:
+                break
+
+            with Timer() as timer, InstrumentationScope("volume.pass_selection"):
+                active = self._pass_selection(slot_low, slot_high, first_slot, last_slot)
+            phases["pass_selection"] += timer.elapsed
+            if len(active) == 0:
+                continue
+
+            with Timer() as timer, InstrumentationScope("volume.screen_space"):
+                # Screen-space tet vertices: (px, py, depth-slot).
+                active_xy = tet_screen_xy[active]
+                active_slots = tet_slots[active]
+                vertices = np.concatenate([active_xy, active_slots[..., None]], axis=2)
+                active_scalars = tet_scalars[active]
+            phases["screen_space"] += timer.elapsed
+
+            with Timer() as timer, InstrumentationScope("volume.sampling"):
+                sample_scalar = np.full((num_pixels, last_slot - first_slot), np.nan)
+                pairs = self._sample_pass(
+                    camera, vertices, active_scalars, first_slot, last_slot,
+                    sample_scalar, accum_alpha,
+                )
+                cells_touched_max = max(cells_touched_max, pairs)
+            phases["sampling"] += timer.elapsed
+
+            with Timer() as timer, InstrumentationScope("volume.compositing"):
+                samples_with_data += int(np.count_nonzero(~np.isnan(sample_scalar)))
+                self._composite_pass(sample_scalar, accum_rgb, accum_alpha, step_length)
+            phases["compositing"] += timer.elapsed
+
+        features.active_pixels = int(np.count_nonzero(accum_alpha > 0.0))
+        features.samples_per_ray = samples_with_data / max(features.active_pixels, 1)
+        features.cells_spanned = int(round(self.mesh.num_cells ** (1.0 / 3.0)))
+
+        rgba = np.concatenate([accum_rgb, accum_alpha[:, None]], axis=1)
+        written = np.flatnonzero(accum_alpha > 0.0)
+        framebuffer.write_pixels(written, rgba[written], np.full(len(written), depth_min))
+        return RenderResult(framebuffer, phases, features, technique="volume_unstructured")
+
+    # -- sampling ---------------------------------------------------------------------------
+    def _sample_pass(
+        self,
+        camera: Camera,
+        vertices: np.ndarray,
+        tet_scalars: np.ndarray,
+        first_slot: int,
+        last_slot: int,
+        sample_scalar: np.ndarray,
+        accum_alpha: np.ndarray,
+    ) -> int:
+        """Fill the pass's sample buffer; returns the number of candidate samples visited."""
+        config = self.config
+        width, height = camera.width, camera.height
+        n_tets = len(vertices)
+
+        # Inverse barycentric matrices: columns are the edge vectors from v0.
+        v0 = vertices[:, 0]
+        edges = np.stack(
+            [vertices[:, 1] - v0, vertices[:, 2] - v0, vertices[:, 3] - v0], axis=2
+        )                                                    # (nt, 3, 3)
+        determinant = np.linalg.det(edges)
+        valid = np.abs(determinant) > 1e-12
+        inverse = np.zeros_like(edges)
+        if np.any(valid):
+            inverse[valid] = np.linalg.inv(edges[valid])
+
+        # Integer pixel bounding boxes and slot ranges, clipped to the image and pass.
+        lo_xy = np.floor(vertices[..., :2].min(axis=1)).astype(np.int64)
+        hi_xy = np.ceil(vertices[..., :2].max(axis=1)).astype(np.int64)
+        lo_xy[:, 0] = np.clip(lo_xy[:, 0], 0, width - 1)
+        lo_xy[:, 1] = np.clip(lo_xy[:, 1], 0, height - 1)
+        hi_xy[:, 0] = np.clip(hi_xy[:, 0], 0, width)
+        hi_xy[:, 1] = np.clip(hi_xy[:, 1], 0, height)
+        lo_slot = np.clip(np.floor(vertices[..., 2].min(axis=1)).astype(np.int64), first_slot, last_slot - 1)
+        hi_slot = np.clip(np.ceil(vertices[..., 2].max(axis=1)).astype(np.int64), first_slot, last_slot)
+
+        # Sub-pixel / sub-slot tets still get one candidate sample so coarse
+        # meshes do not leave holes in the image.
+        box_w = np.maximum(hi_xy[:, 0] - lo_xy[:, 0], 1)
+        box_h = np.maximum(hi_xy[:, 1] - lo_xy[:, 1], 1)
+        box_d = np.maximum(hi_slot - lo_slot, 1)
+        footprint = box_w * box_h * box_d * valid
+        total_candidates = int(footprint.sum())
+        if total_candidates == 0:
+            return 0
+
+        order = np.flatnonzero(footprint > 0)
+        visited = 0
+        for start, end in chunk_ranges(footprint[order], config.pair_chunk):
+            chunk = order[start:end]
+            visited += self._sample_chunk(
+                chunk, lo_xy, box_w, box_h, lo_slot, box_d, v0, inverse, tet_scalars,
+                first_slot, sample_scalar, accum_alpha, width,
+            )
+        return visited
+
+    def _sample_chunk(
+        self,
+        chunk: np.ndarray,
+        lo_xy: np.ndarray,
+        box_w: np.ndarray,
+        box_h: np.ndarray,
+        lo_slot: np.ndarray,
+        box_d: np.ndarray,
+        v0: np.ndarray,
+        inverse: np.ndarray,
+        tet_scalars: np.ndarray,
+        first_slot: int,
+        sample_scalar: np.ndarray,
+        accum_alpha: np.ndarray,
+        image_width: int = 0,
+    ) -> int:
+        """Evaluate the candidate samples of one chunk of tets."""
+        counts = box_w[chunk] * box_h[chunk] * box_d[chunk]
+        if counts.sum() == 0:
+            return 0
+        tet_of_pair = np.repeat(np.arange(len(chunk)), counts)
+        local = segment_local_indices(counts)
+        w_rep = np.repeat(box_w[chunk], counts)
+        h_rep = np.repeat(box_h[chunk], counts)
+        # local index -> (dx, dy, dslot)
+        dx = local % w_rep
+        dy = (local // w_rep) % h_rep
+        dslot = local // (w_rep * h_rep)
+
+        tids = chunk[tet_of_pair]
+        px = lo_xy[tids, 0] + dx
+        py = lo_xy[tids, 1] + dy
+        slot = lo_slot[tids] + dslot
+        pixel_flat = py * image_width + px
+
+        # Skip samples on pixels that are already opaque (early termination).
+        open_pixel = accum_alpha[pixel_flat] < self.config.early_termination_alpha
+        if not np.any(open_pixel):
+            return int(len(pixel_flat))
+        tids = tids[open_pixel]
+        px, py, slot, pixel_flat = px[open_pixel], py[open_pixel], slot[open_pixel], pixel_flat[open_pixel]
+
+        sample_position = np.column_stack([px + 0.5, py + 0.5, slot + 0.5])
+        offset = sample_position - v0[tids]
+        barycentric = np.einsum("nij,nj->ni", inverse[tids], offset)
+        b0 = 1.0 - barycentric.sum(axis=1)
+        inside = (
+            (barycentric >= -1e-9).all(axis=1)
+            & (b0 >= -1e-9)
+        )
+        if not np.any(inside):
+            return int(len(pixel_flat)) + int(np.count_nonzero(~open_pixel))
+
+        tids = tids[inside]
+        pixel_flat = pixel_flat[inside]
+        slot = slot[inside]
+        barycentric = barycentric[inside]
+        b0 = b0[inside]
+        values = (
+            b0 * tet_scalars[tids, 0]
+            + barycentric[:, 0] * tet_scalars[tids, 1]
+            + barycentric[:, 1] * tet_scalars[tids, 2]
+            + barycentric[:, 2] * tet_scalars[tids, 3]
+        )
+        sample_scalar[pixel_flat, slot - first_slot] = values
+        return int(len(px)) + int(np.count_nonzero(~open_pixel))
+
+    # -- compositing ---------------------------------------------------------------------------
+    def _composite_pass(
+        self,
+        sample_scalar: np.ndarray,
+        accum_rgb: np.ndarray,
+        accum_alpha: np.ndarray,
+        step_length: float,
+    ) -> None:
+        """Front-to-back composite this pass's sample buffer into the accumulators."""
+        tf = self.transfer_function
+        has_sample = ~np.isnan(sample_scalar)
+        if not np.any(has_sample):
+            return
+        scalars = np.where(has_sample, sample_scalar, 0.0)
+        rgb, alpha = tf.sample(scalars, step_length=step_length)
+        alpha = np.where(has_sample, alpha, 0.0)
+        transparency = np.cumprod(1.0 - alpha, axis=1)
+        leading = np.concatenate([np.ones((len(alpha), 1)), transparency[:, :-1]], axis=1)
+        weights = (1.0 - accum_alpha)[:, None] * leading * alpha
+        accum_rgb += np.einsum("ij,ijk->ik", weights, rgb)
+        accum_alpha[:] = 1.0 - (1.0 - accum_alpha) * transparency[:, -1]

@@ -1,0 +1,26 @@
+"""Simulated distributed-memory runtime (the reproduction's MPI substitute).
+
+The paper's study runs MPI+X: each MPI task owns one block of the domain,
+renders it locally, and participates in sort-last compositing.  The
+reproduction executes all "ranks" inside one process but keeps the same
+program structure: a :class:`SimulatedCommunicator` provides the collective
+operations the compositing algorithms need and *accounts for every byte that
+would have crossed the network*, so a network cost model can convert message
+volume into communication time.
+
+* :mod:`repro.runtime.communicator` -- rank handles, point-to-point and
+  collective operations, byte/latency accounting, and a network model.
+* :mod:`repro.runtime.decomposition` -- block domain decomposition and the
+  weak/strong-scaling helpers the study parameters need.
+"""
+
+from repro.runtime.communicator import NetworkModel, RankCommunicator, SimulatedCommunicator
+from repro.runtime.decomposition import BlockDecomposition, factor_into_blocks
+
+__all__ = [
+    "BlockDecomposition",
+    "NetworkModel",
+    "RankCommunicator",
+    "SimulatedCommunicator",
+    "factor_into_blocks",
+]

@@ -1,0 +1,192 @@
+"""Simulated MPI communicator with message-volume accounting.
+
+All ranks live in one Python process.  Point-to-point sends are immediate
+(the payload is stored in the receiver's mailbox), and every transfer is
+logged so that a :class:`NetworkModel` can convert the communication pattern
+into an estimated wall-clock time.  That estimate is what the compositing
+experiments (Section 5.6) use as the "communication" component of their
+measured compositing time, alongside the real wall-clock cost of the local
+blending arithmetic.
+
+The interface intentionally mirrors the small subset of mpi4py that IceT-style
+compositing needs: ``send``/``recv``, ``barrier``, ``gather``, ``allreduce``,
+plus rank/size queries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["NetworkModel", "SimulatedCommunicator", "RankCommunicator"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Simple latency + bandwidth network cost model.
+
+    ``time = latency_seconds * messages + bytes / bandwidth_bytes_per_second``
+    evaluated over the critical path returned by
+    :meth:`SimulatedCommunicator.estimate_time` (per-round maxima, since
+    exchanges within a compositing round proceed concurrently).
+
+    Defaults approximate a commodity cluster interconnect (a few microseconds
+    of latency, a few GB/s per link).
+    """
+
+    latency_seconds: float = 5e-6
+    bandwidth_bytes_per_second: float = 4e9
+
+    def transfer_seconds(self, num_bytes: float, messages: int = 1) -> float:
+        """Cost of moving ``num_bytes`` in ``messages`` messages over one link."""
+        return self.latency_seconds * messages + num_bytes / self.bandwidth_bytes_per_second
+
+
+@dataclass
+class _MessageLog:
+    """Per-round accounting of simulated traffic."""
+
+    bytes_by_rank: dict[int, float] = field(default_factory=lambda: defaultdict(float))
+    messages_by_rank: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, rank: int, num_bytes: float) -> None:
+        self.bytes_by_rank[rank] += num_bytes
+        self.messages_by_rank[rank] += 1
+
+    def critical_seconds(self, model: NetworkModel) -> float:
+        """Slowest rank's communication time for this round."""
+        if not self.bytes_by_rank:
+            return 0.0
+        return max(
+            model.transfer_seconds(self.bytes_by_rank[rank], self.messages_by_rank[rank])
+            for rank in self.bytes_by_rank
+        )
+
+
+def _payload_bytes(payload: Any) -> float:
+    """Estimated wire size of a payload (numpy arrays dominate in practice)."""
+    if isinstance(payload, np.ndarray):
+        return float(payload.nbytes)
+    if isinstance(payload, (tuple, list)):
+        return float(sum(_payload_bytes(item) for item in payload))
+    if isinstance(payload, dict):
+        return float(sum(_payload_bytes(value) for value in payload.values()))
+    if isinstance(payload, (bytes, bytearray)):
+        return float(len(payload))
+    return 64.0  # scalars / small metadata
+
+
+class SimulatedCommunicator:
+    """A world of ``size`` simulated ranks sharing one process.
+
+    Rank-local code receives a :class:`RankCommunicator` view; the world
+    object tracks mailboxes and traffic.  Compositing rounds are delimited
+    with :meth:`next_round` so the network estimate can treat intra-round
+    exchanges as concurrent and rounds as sequential.
+    """
+
+    def __init__(self, size: int, network: NetworkModel | None = None) -> None:
+        if size < 1:
+            raise ValueError("communicator size must be positive")
+        self.size = int(size)
+        self.network = network or NetworkModel()
+        self._mailboxes: dict[tuple[int, int, int], deque] = defaultdict(deque)
+        self._rounds: list[_MessageLog] = [_MessageLog()]
+
+    # -- rank views -----------------------------------------------------------------
+    def rank(self, rank: int) -> "RankCommunicator":
+        """The communicator view for one rank."""
+        if not 0 <= rank < self.size:
+            raise IndexError(f"rank {rank} out of range for size {self.size}")
+        return RankCommunicator(self, rank)
+
+    def ranks(self) -> list["RankCommunicator"]:
+        """Views for every rank."""
+        return [self.rank(index) for index in range(self.size)]
+
+    # -- messaging ------------------------------------------------------------------
+    def _send(self, source: int, dest: int, tag: int, payload: Any) -> None:
+        if not 0 <= dest < self.size:
+            raise IndexError(f"destination rank {dest} out of range")
+        self._mailboxes[(source, dest, tag)].append(payload)
+        self._rounds[-1].record(source, _payload_bytes(payload))
+
+    def _recv(self, source: int, dest: int, tag: int) -> Any:
+        queue = self._mailboxes.get((source, dest, tag))
+        if not queue:
+            raise RuntimeError(
+                f"rank {dest} has no pending message from rank {source} with tag {tag}"
+            )
+        return queue.popleft()
+
+    # -- accounting -------------------------------------------------------------------
+    def next_round(self) -> None:
+        """Mark the end of a communication round (rounds execute sequentially)."""
+        self._rounds.append(_MessageLog())
+
+    def total_bytes(self) -> float:
+        """All bytes sent in the lifetime of the communicator."""
+        return float(
+            sum(sum(log.bytes_by_rank.values()) for log in self._rounds)
+        )
+
+    def total_messages(self) -> int:
+        """All messages sent in the lifetime of the communicator."""
+        return int(sum(sum(log.messages_by_rank.values()) for log in self._rounds))
+
+    def estimate_time(self) -> float:
+        """Network-model estimate of the communication critical path."""
+        return float(sum(log.critical_seconds(self.network) for log in self._rounds))
+
+    def reset_accounting(self) -> None:
+        """Clear traffic logs (mailboxes are left untouched)."""
+        self._rounds = [_MessageLog()]
+
+
+@dataclass
+class RankCommunicator:
+    """The view of a :class:`SimulatedCommunicator` seen by one rank."""
+
+    world: SimulatedCommunicator
+    rank: int
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    # -- point to point ------------------------------------------------------------
+    def send(self, dest: int, payload: Any, tag: int = 0) -> None:
+        """Send ``payload`` to ``dest`` (returns immediately)."""
+        self.world._send(self.rank, dest, tag, payload)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Receive the next payload sent by ``source`` with ``tag``."""
+        return self.world._recv(source, self.rank, tag)
+
+    # -- collectives (driver-side helpers) ----------------------------------------------
+    def barrier(self) -> None:
+        """No-op in the single-process simulation (kept for interface parity)."""
+
+    def gather(self, payload: Any, root: int = 0, tag: int = 99) -> list[Any] | None:
+        """Send ``payload`` to ``root``; the root returns the list of payloads.
+
+        Because all ranks run in one process, the driver calls ``gather`` on
+        each rank in turn; non-root ranks return ``None``.
+        """
+        if self.rank != root:
+            self.world._send(self.rank, root, tag, payload)
+            return None
+        gathered = []
+        for source in range(self.size):
+            if source == root:
+                gathered.append(payload)
+            else:
+                gathered.append(self.world._recv(source, root, tag))
+        return gathered
+
+    def allreduce(self, value: float, op: Callable[[float, float], float] = max) -> float:
+        """Driver-side reduction helper (identity in a single-rank world)."""
+        return value

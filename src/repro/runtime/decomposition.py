@@ -1,0 +1,152 @@
+"""Block domain decomposition across simulated MPI tasks.
+
+The study weak-scales its experiments: every task owns a cubic block of
+``N^3`` cells and the global domain grows with the task count.  The
+:class:`BlockDecomposition` captures that layout, assigns each rank its block
+origin and extent in a shared world coordinate system, and can materialise a
+per-rank :class:`~repro.geometry.mesh.UniformGrid` with a named synthetic
+field evaluated consistently across blocks (so block boundaries line up just
+as a real simulation's domain decomposition would).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.geometry.mesh import UniformGrid
+
+__all__ = ["factor_into_blocks", "BlockDecomposition"]
+
+
+def factor_into_blocks(num_tasks: int) -> tuple[int, int, int]:
+    """Factor a task count into a near-cubic 3D process grid.
+
+    The factors are chosen greedily from the largest prime factors so the
+    resulting grid is as close to cubic as possible (matching how simulation
+    codes typically lay out their blocks).
+    """
+    if num_tasks < 1:
+        raise ValueError("num_tasks must be positive")
+    factors: list[int] = []
+    remaining = num_tasks
+    divisor = 2
+    while remaining > 1:
+        while remaining % divisor == 0:
+            factors.append(divisor)
+            remaining //= divisor
+        divisor += 1
+    grid = [1, 1, 1]
+    for factor in sorted(factors, reverse=True):
+        grid[int(np.argmin(grid))] *= factor
+    return tuple(sorted(grid, reverse=True))  # type: ignore[return-value]
+
+
+@dataclass
+class BlockDecomposition:
+    """A weak-scaled decomposition of a global domain into per-task blocks.
+
+    Parameters
+    ----------
+    num_tasks:
+        Number of simulated MPI tasks.
+    cells_per_task:
+        Cells per axis owned by each task (``N`` for an ``N^3`` block).
+    block_grid:
+        Optional explicit process grid; computed with
+        :func:`factor_into_blocks` when omitted.
+    cell_size:
+        World-space edge length of one cell (uniform).
+    """
+
+    num_tasks: int
+    cells_per_task: int
+    block_grid: tuple[int, int, int] | None = None
+    cell_size: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_tasks < 1:
+            raise ValueError("num_tasks must be positive")
+        if self.cells_per_task < 1:
+            raise ValueError("cells_per_task must be positive")
+        if self.block_grid is None:
+            self.block_grid = factor_into_blocks(self.num_tasks)
+        bx, by, bz = self.block_grid
+        if bx * by * bz != self.num_tasks:
+            raise ValueError("block_grid does not multiply out to num_tasks")
+
+    # -- global geometry ------------------------------------------------------------
+    @property
+    def global_cell_dims(self) -> tuple[int, int, int]:
+        """Total cells per axis across the whole domain."""
+        bx, by, bz = self.block_grid
+        n = self.cells_per_task
+        return (bx * n, by * n, bz * n)
+
+    @property
+    def total_cells(self) -> int:
+        gx, gy, gz = self.global_cell_dims
+        return gx * gy * gz
+
+    @property
+    def global_bounds(self) -> AABB:
+        gx, gy, gz = self.global_cell_dims
+        high = np.array([gx, gy, gz], dtype=np.float64) * self.cell_size
+        return AABB(np.zeros(3), high)
+
+    # -- per-rank geometry -------------------------------------------------------------
+    def block_index(self, rank: int) -> tuple[int, int, int]:
+        """3D block coordinates of a rank (x fastest)."""
+        if not 0 <= rank < self.num_tasks:
+            raise IndexError(f"rank {rank} out of range")
+        bx, by, _ = self.block_grid
+        return (rank % bx, (rank // bx) % by, rank // (bx * by))
+
+    def block_bounds(self, rank: int) -> AABB:
+        """World-space bounds of a rank's block."""
+        ix, iy, iz = self.block_index(rank)
+        n = self.cells_per_task * self.cell_size
+        low = np.array([ix, iy, iz], dtype=np.float64) * n
+        return AABB(low, low + n)
+
+    def block_grid_for_rank(self, rank: int) -> UniformGrid:
+        """A rank's block as a uniform grid (points = cells + 1 per axis)."""
+        bounds = self.block_bounds(rank)
+        points = self.cells_per_task + 1
+        return UniformGrid(
+            (points, points, points),
+            origin=tuple(bounds.low),
+            spacing=(self.cell_size,) * 3,
+        )
+
+    def block_grid_with_field(
+        self, rank: int, field_name: str, field_function
+    ) -> UniformGrid:
+        """A rank's block carrying ``field_name`` evaluated at its points.
+
+        ``field_function`` receives an ``(n, 3)`` array of *normalized global*
+        coordinates (the point positions divided by the global extent, so the
+        field is continuous across block boundaries) and returns one value per
+        point.
+        """
+        grid = self.block_grid_for_rank(rank)
+        points = grid.points()
+        extent = np.maximum(self.global_bounds.extent, 1e-12)
+        normalized = (points - self.global_bounds.low) / extent
+        grid.add_point_field(field_name, np.asarray(field_function(normalized), dtype=np.float64))
+        return grid
+
+    def neighbor_ranks(self, rank: int) -> list[int]:
+        """Face-adjacent neighbour ranks (used by halo-exchange style tests)."""
+        bx, by, bz = self.block_grid
+        ix, iy, iz = self.block_index(rank)
+        neighbors = []
+        for axis, (i, limit) in enumerate(((ix, bx), (iy, by), (iz, bz))):
+            for delta in (-1, 1):
+                coords = [ix, iy, iz]
+                coords[axis] = i + delta
+                if 0 <= coords[axis] < limit:
+                    neighbors.append(coords[0] + bx * (coords[1] + by * coords[2]))
+        return neighbors

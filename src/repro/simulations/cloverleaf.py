@@ -1,0 +1,114 @@
+"""CloverLeaf3D-like proxy: compressible Euler hydrodynamics on a rectilinear mesh.
+
+CloverLeaf3D advances the compressible Euler equations with an explicit
+staggered-grid scheme on a rectilinear mesh.  The proxy implements a compact
+first-order finite-volume update of density and energy with a prescribed
+divergence-free swirl velocity field -- enough real numerical work per cycle
+to stand in for the simulation burden measurements, while producing the
+advecting density front that CloverLeaf's standard "clover" problem shows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.mesh import RectilinearGrid
+from repro.simulations.base import SimulationProxy
+from repro.util.rng import default_rng
+
+__all__ = ["CloverleafProxy"]
+
+
+class CloverleafProxy(SimulationProxy):
+    """Euler-advection proxy on a rectilinear grid.
+
+    Parameters
+    ----------
+    cells_per_axis:
+        Cells per axis.  The rectilinear spacing is graded (finer near one
+        corner) to exercise the rectilinear code paths rather than collapsing
+        to a uniform grid.
+    cfl:
+        Time-step safety factor.
+    """
+
+    def __init__(self, cells_per_axis: int, cfl: float = 0.4, seed: int | None = None) -> None:
+        super().__init__()
+        if cells_per_axis < 2:
+            raise ValueError("cells_per_axis must be at least 2")
+        self.cells_per_axis = int(cells_per_axis)
+        self.cfl = float(cfl)
+        default_rng(seed, "cloverleaf", cells_per_axis)  # reserved for future stochastic ICs
+
+        n = self.cells_per_axis
+        # Graded coordinates: geometric spacing refined toward the low corner.
+        grading = np.linspace(0.0, 1.0, n + 1) ** 1.2
+        self._grid = RectilinearGrid(grading * 10.0, grading * 2.0, grading * 2.0)
+
+        centers = self._grid.cell_centers()
+        x, y, z = centers[:, 0], centers[:, 1], centers[:, 2]
+        density = np.where((x < 5.0) & (y < 1.0) & (z < 1.0), 1.0, 0.2)
+        energy = np.where((x < 5.0) & (y < 1.0) & (z < 1.0), 2.5, 1.0)
+        self._density = density.reshape(n, n, n)
+        self._energy = energy.reshape(n, n, n)
+        self._grid.add_cell_field("density", self._density.ravel().copy())
+        self._grid.add_cell_field("energy", self._energy.ravel().copy())
+        self._grid.add_point_field("density_point", self._cell_to_point(self._density))
+
+        # Prescribed velocity: uniform drift plus a solenoidal swirl.
+        cx = centers.reshape(n, n, n, 3)
+        self._velocity = np.stack(
+            [
+                np.full((n, n, n), 1.0),
+                0.3 * np.sin(2 * np.pi * cx[..., 0] / 10.0),
+                0.3 * np.cos(2 * np.pi * cx[..., 0] / 10.0),
+            ],
+            axis=-1,
+        )
+        self._spacing = np.array(
+            [np.diff(self._grid.x).min(), np.diff(self._grid.y).min(), np.diff(self._grid.z).min()]
+        )
+
+    # -- physics --------------------------------------------------------------------------------
+    def _upwind_gradient(self, field: np.ndarray, axis: int, velocity: np.ndarray) -> np.ndarray:
+        """First-order upwind difference of ``field`` along ``axis``."""
+        forward = np.diff(field, axis=axis, append=np.take(field, [-1], axis=axis))
+        backward = np.diff(field, axis=axis, prepend=np.take(field, [0], axis=axis))
+        return np.where(velocity > 0, backward, forward)
+
+    def _step(self) -> float:
+        """Advect density and energy with the prescribed velocity field."""
+        dt = self.cfl * float(self._spacing.min()) / float(np.abs(self._velocity).max() + 1e-12)
+        # Field arrays are laid out (z, y, x); velocity component 0 is x.
+        density = self._density.reshape(self.cells_per_axis, self.cells_per_axis, self.cells_per_axis)
+        energy = self._energy.reshape(self.cells_per_axis, self.cells_per_axis, self.cells_per_axis)
+        for component, axis in ((0, 2), (1, 1), (2, 0)):
+            velocity = self._velocity[..., component]
+            spacing = self._spacing[component]
+            density = density - dt * velocity * self._upwind_gradient(density, axis, velocity) / spacing
+            energy = energy - dt * velocity * self._upwind_gradient(energy, axis, velocity) / spacing
+        self._density = np.clip(density, 0.05, None)
+        self._energy = np.clip(energy, 0.1, None)
+        self._grid.cell_fields["density"] = self._density.ravel().copy()
+        self._grid.cell_fields["energy"] = self._energy.ravel().copy()
+        self._grid.point_fields["density_point"] = self._cell_to_point(self._density)
+        return dt
+
+    def _cell_to_point(self, cell_volume: np.ndarray) -> np.ndarray:
+        """Average cell-centered values onto the grid points."""
+        n = self.cells_per_axis
+        padded = np.pad(cell_volume.reshape(n, n, n), 1, mode="edge")
+        point = np.zeros((n + 1, n + 1, n + 1))
+        for dz in (0, 1):
+            for dy in (0, 1):
+                for dx in (0, 1):
+                    point += padded[dz : dz + n + 1, dy : dy + n + 1, dx : dx + n + 1]
+        return (point / 8.0).ravel()
+
+    # -- state access ------------------------------------------------------------------------------
+    def mesh(self) -> RectilinearGrid:
+        return self._grid
+
+    @property
+    def primary_field(self) -> str:
+        return "density_point"

@@ -1,0 +1,108 @@
+"""LULESH-like proxy: Lagrangian shock hydrodynamics on an unstructured hex mesh.
+
+The real LULESH solves the Sedov blast problem: a point energy deposition at a
+corner of the domain drives an expanding shock, and the Lagrangian mesh nodes
+move with the material.  The proxy keeps those externally visible properties:
+
+* the mesh is an explicit **unstructured hexahedral** mesh whose node
+  positions change every cycle (so the in situ layer cannot cache geometry),
+* an element-centered energy field ``e`` and pressure field ``p`` follow an
+  expanding spherical front, and
+* per-cycle cost scales with the number of elements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.mesh import UniformGrid, UnstructuredHexMesh
+from repro.simulations.base import SimulationProxy
+from repro.util.rng import default_rng
+
+__all__ = ["LuleshProxy"]
+
+
+class LuleshProxy(SimulationProxy):
+    """Sedov-blast-like proxy on a deforming unstructured hex mesh.
+
+    Parameters
+    ----------
+    cells_per_axis:
+        Elements per axis of the (initially regular) hex mesh.
+    initial_energy:
+        Energy deposited at the origin corner at cycle 0.
+    seed:
+        Seed for the small random perturbation of initial node positions.
+    """
+
+    def __init__(self, cells_per_axis: int, initial_energy: float = 3.948746e7, seed: int | None = None) -> None:
+        super().__init__()
+        if cells_per_axis < 2:
+            raise ValueError("cells_per_axis must be at least 2")
+        self.cells_per_axis = int(cells_per_axis)
+        rng = default_rng(seed, "lulesh", cells_per_axis)
+
+        points_per_axis = self.cells_per_axis + 1
+        grid = UniformGrid(
+            (points_per_axis,) * 3,
+            origin=(0.0, 0.0, 0.0),
+            spacing=(1.125 / self.cells_per_axis,) * 3,
+        )
+        self._mesh = UnstructuredHexMesh.from_structured(grid)
+        # Small random perturbation so the mesh is genuinely unstructured.
+        jitter = 0.05 * (1.125 / self.cells_per_axis)
+        interior = self._interior_point_mask(points_per_axis)
+        offsets = rng.uniform(-jitter, jitter, size=self._mesh.points().shape)
+        self._mesh._points = self._mesh.points() + offsets * interior[:, None]
+
+        self._reference_points = self._mesh.points().copy()
+        self.initial_energy = float(initial_energy)
+        centers = self._mesh.cell_centers()
+        self._radius = np.linalg.norm(centers, axis=1)
+        energy = np.zeros(self._mesh.num_cells)
+        energy[np.argmin(self._radius)] = self.initial_energy
+        self._mesh.add_cell_field("e", energy)
+        self._mesh.add_cell_field("p", np.zeros(self._mesh.num_cells))
+        self._mesh.add_point_field("speed", np.zeros(self._mesh.num_points))
+        self._dt = 1e-2 / self.cells_per_axis
+
+    @staticmethod
+    def _interior_point_mask(points_per_axis: int) -> np.ndarray:
+        """1 for interior points, 0 on the boundary (boundary stays fixed)."""
+        axis = np.arange(points_per_axis)
+        interior_axis = (axis > 0) & (axis < points_per_axis - 1)
+        zz, yy, xx = np.meshgrid(interior_axis, interior_axis, interior_axis, indexing="ij")
+        return (xx & yy & zz).ravel().astype(np.float64)
+
+    # -- physics -----------------------------------------------------------------------
+    def _step(self) -> float:
+        """Expand the blast front and advect nodes radially outward."""
+        mesh = self._mesh
+        front_radius = 0.15 + 0.9 * (1.0 - np.exp(-0.08 * (self.cycle + 1)))
+        width = 0.08 + 0.02 * np.sqrt(self.cycle + 1.0)
+
+        # Element energy: a Gaussian shell at the front plus the decaying core.
+        shell = np.exp(-((self._radius - front_radius) ** 2) / (2.0 * width**2))
+        core = np.exp(-self._radius / max(front_radius, 1e-6)) * np.exp(-0.05 * self.cycle)
+        energy = self.initial_energy * (0.7 * shell + 0.3 * core) / max(self.cycle + 1, 1)
+        pressure = (2.0 / 3.0) * energy  # ideal-gas-like closure
+        mesh.cell_fields["e"] = energy
+        mesh.cell_fields["p"] = pressure
+
+        # Lagrangian node motion: radial displacement following the front.
+        points = self._reference_points
+        radius = np.linalg.norm(points, axis=1)
+        safe_radius = np.where(radius < 1e-9, 1.0, radius)
+        displacement = 0.04 * front_radius * np.exp(-((radius - front_radius) ** 2) / (2.0 * width**2))
+        direction = points / safe_radius[:, None]
+        mesh._points = points + displacement[:, None] * direction
+        mesh.point_fields["speed"] = displacement / self._dt
+        return self._dt
+
+    # -- state access ----------------------------------------------------------------------
+    def mesh(self) -> UnstructuredHexMesh:
+        return self._mesh
+
+    @property
+    def primary_field(self) -> str:
+        return "e"

@@ -1,0 +1,43 @@
+"""Shared utilities for the in situ rendering performance-modeling reproduction.
+
+This package holds small building blocks used throughout :mod:`repro`:
+
+* :mod:`repro.util.morton` -- Z-order (Morton) curve encoding used to order
+  camera rays and to build the linear BVH (LBVH).
+* :mod:`repro.util.timing` -- lightweight wall-clock timers and a hierarchical
+  timing registry used by the data-gathering infrastructure.
+* :mod:`repro.util.rng` -- deterministic random-number-generator helpers so
+  every experiment in the study is reproducible.
+"""
+
+from repro.util.morton import (
+    morton_decode_2d,
+    morton_decode_3d,
+    morton_encode_2d,
+    morton_encode_3d,
+    morton_order_points,
+    part1by1,
+    part1by2,
+    unpart1by1,
+    unpart1by2,
+)
+from repro.util.rng import default_rng, derive_seed, spawn_rngs
+from repro.util.timing import Timer, TimingRegistry, format_seconds
+
+__all__ = [
+    "Timer",
+    "TimingRegistry",
+    "default_rng",
+    "derive_seed",
+    "format_seconds",
+    "morton_decode_2d",
+    "morton_decode_3d",
+    "morton_encode_2d",
+    "morton_encode_3d",
+    "morton_order_points",
+    "part1by1",
+    "part1by2",
+    "spawn_rngs",
+    "unpart1by1",
+    "unpart1by2",
+]

@@ -1,0 +1,158 @@
+"""Morton (Z-order) curve encoding and decoding.
+
+The data-parallel ray tracer orders camera rays along a Morton curve of the
+framebuffer to increase memory coherence (Chapter II of the dissertation), and
+the linear BVH builder (LBVH, Karras 2012) sorts primitive centroids by their
+30-bit 3D Morton code before emitting the hierarchy.  Both uses are served by
+the vectorized encoders in this module.
+
+All functions operate element-wise on numpy integer arrays and are fully
+vectorized; scalar inputs are accepted and give scalar outputs through normal
+numpy broadcasting rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "part1by1",
+    "part1by2",
+    "unpart1by1",
+    "unpart1by2",
+    "morton_encode_2d",
+    "morton_decode_2d",
+    "morton_encode_3d",
+    "morton_decode_3d",
+    "morton_order_points",
+]
+
+# Maximum number of bits per coordinate supported by the 2D/3D encoders.
+MAX_BITS_2D = 16
+MAX_BITS_3D = 10
+
+
+def part1by1(x: np.ndarray) -> np.ndarray:
+    """Insert one zero bit between each of the low 16 bits of ``x``.
+
+    This is the classic "bit part" operation used to interleave two
+    coordinates into a 2D Morton code.
+    """
+    x = np.asarray(x, dtype=np.uint32) & np.uint32(0x0000FFFF)
+    x = (x | (x << np.uint32(8))) & np.uint32(0x00FF00FF)
+    x = (x | (x << np.uint32(4))) & np.uint32(0x0F0F0F0F)
+    x = (x | (x << np.uint32(2))) & np.uint32(0x33333333)
+    x = (x | (x << np.uint32(1))) & np.uint32(0x55555555)
+    return x
+
+
+def unpart1by1(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`part1by1`: compact every other bit into the low half."""
+    x = np.asarray(x, dtype=np.uint32) & np.uint32(0x55555555)
+    x = (x | (x >> np.uint32(1))) & np.uint32(0x33333333)
+    x = (x | (x >> np.uint32(2))) & np.uint32(0x0F0F0F0F)
+    x = (x | (x >> np.uint32(4))) & np.uint32(0x00FF00FF)
+    x = (x | (x >> np.uint32(8))) & np.uint32(0x0000FFFF)
+    return x
+
+
+def part1by2(x: np.ndarray) -> np.ndarray:
+    """Insert two zero bits between each of the low 10 bits of ``x``.
+
+    Used to interleave three coordinates into a 30-bit 3D Morton code.
+    """
+    x = np.asarray(x, dtype=np.uint32) & np.uint32(0x000003FF)
+    x = (x | (x << np.uint32(16))) & np.uint32(0x030000FF)
+    x = (x | (x << np.uint32(8))) & np.uint32(0x0300F00F)
+    x = (x | (x << np.uint32(4))) & np.uint32(0x030C30C3)
+    x = (x | (x << np.uint32(2))) & np.uint32(0x09249249)
+    return x
+
+
+def unpart1by2(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`part1by2`."""
+    x = np.asarray(x, dtype=np.uint32) & np.uint32(0x09249249)
+    x = (x | (x >> np.uint32(2))) & np.uint32(0x030C30C3)
+    x = (x | (x >> np.uint32(4))) & np.uint32(0x0300F00F)
+    x = (x | (x >> np.uint32(8))) & np.uint32(0x030000FF)
+    x = (x | (x >> np.uint32(16))) & np.uint32(0x000003FF)
+    return x
+
+
+def morton_encode_2d(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Interleave two 16-bit integer coordinates into a 2D Morton code.
+
+    Parameters
+    ----------
+    x, y:
+        Non-negative integer arrays with values below ``2**16``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint32`` Morton codes with ``x`` occupying the even bits.
+    """
+    return part1by1(x) | (part1by1(y) << np.uint32(1))
+
+
+def morton_decode_2d(code: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Invert :func:`morton_encode_2d`, returning ``(x, y)``."""
+    code = np.asarray(code, dtype=np.uint32)
+    return unpart1by1(code), unpart1by1(code >> np.uint32(1))
+
+
+def morton_encode_3d(x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """Interleave three 10-bit integer coordinates into a 30-bit Morton code."""
+    return (
+        part1by2(x)
+        | (part1by2(y) << np.uint32(1))
+        | (part1by2(z) << np.uint32(2))
+    )
+
+
+def morton_decode_3d(code: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Invert :func:`morton_encode_3d`, returning ``(x, y, z)``."""
+    code = np.asarray(code, dtype=np.uint32)
+    return (
+        unpart1by2(code),
+        unpart1by2(code >> np.uint32(1)),
+        unpart1by2(code >> np.uint32(2)),
+    )
+
+
+def morton_order_points(points: np.ndarray, bits: int = MAX_BITS_3D) -> np.ndarray:
+    """Return the permutation that sorts 3D ``points`` along a Morton curve.
+
+    The point cloud is quantized onto a ``2**bits`` per-axis lattice spanning
+    its axis-aligned bounding box; degenerate extents (all points sharing a
+    coordinate) quantize to zero along that axis.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, 3)`` with arbitrary float coordinates.
+    bits:
+        Bits of quantization per axis, at most :data:`MAX_BITS_3D`.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer permutation ``order`` such that ``points[order]`` is sorted by
+        Morton code (stable with respect to ties).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError("points must have shape (n, 3)")
+    if not 1 <= bits <= MAX_BITS_3D:
+        raise ValueError(f"bits must be in [1, {MAX_BITS_3D}]")
+    if points.shape[0] == 0:
+        return np.empty(0, dtype=np.int64)
+
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    extent = hi - lo
+    extent[extent == 0.0] = 1.0
+    scale = (2**bits - 1) / extent
+    quantized = ((points - lo) * scale).astype(np.uint32)
+    codes = morton_encode_3d(quantized[:, 0], quantized[:, 1], quantized[:, 2])
+    return np.argsort(codes, kind="stable")

@@ -1,0 +1,58 @@
+"""Vectorized helpers for expanding variable-length segments.
+
+The object-order renderers expand each primitive into a variable number of
+candidate samples (its pixel footprint).  Doing that expansion with Python
+loops is prohibitively slow, so these helpers build the per-segment local
+indices and the memory-bounded chunk boundaries entirely with numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["segment_local_indices", "chunk_ranges"]
+
+
+def segment_local_indices(counts: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(counts[i])`` for every segment ``i``.
+
+    Example: ``counts = [3, 0, 2]`` yields ``[0, 1, 2, 0, 1]``.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim != 1:
+        raise ValueError("counts must be one-dimensional")
+    if np.any(counts < 0):
+        raise ValueError("counts must be non-negative")
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+
+
+def chunk_ranges(counts: np.ndarray, max_total: int) -> list[tuple[int, int]]:
+    """Split segments into consecutive chunks whose summed counts stay bounded.
+
+    Returns ``(start, end)`` index ranges into ``counts`` such that the sum of
+    each chunk is at most ``max_total`` -- except that a single segment larger
+    than the bound forms a chunk by itself (it cannot be split).
+
+    The number of returned chunks is small, so iterating over them in Python
+    is cheap even when ``counts`` has millions of entries.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if max_total < 1:
+        raise ValueError("max_total must be positive")
+    n = len(counts)
+    if n == 0:
+        return []
+    cumulative = np.cumsum(counts)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    while start < n:
+        base = cumulative[start - 1] if start > 0 else 0
+        end = int(np.searchsorted(cumulative, base + max_total, side="right"))
+        end = max(end, start + 1)
+        ranges.append((start, end))
+        start = end
+    return ranges

@@ -1,0 +1,230 @@
+"""Tests for the simulated MPI runtime, domain decomposition, and sort-last compositing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compositing import Compositor, SubImage, composite_pixels
+from repro.compositing.algorithms import factor_radices
+from repro.compositing.image import from_framebuffer
+from repro.rendering.framebuffer import Framebuffer
+from repro.runtime import BlockDecomposition, NetworkModel, SimulatedCommunicator, factor_into_blocks
+
+
+def _random_framebuffers(rng, count, width=17, height=11, alpha=1.0):
+    framebuffers = []
+    for rank in range(count):
+        fb = Framebuffer(width, height)
+        mask = rng.random((height, width)) < 0.5
+        n = int(mask.sum())
+        fb.rgba[mask] = np.column_stack([rng.random((n, 3)), np.full(n, alpha)])
+        fb.depth[mask] = rng.random(n) * 5.0 + rank * 0.1
+        framebuffers.append(fb)
+    return framebuffers
+
+
+class TestCommunicator:
+    def test_send_recv_roundtrip(self):
+        world = SimulatedCommunicator(3)
+        world.rank(0).send(2, np.arange(4), tag=5)
+        received = world.rank(2).recv(0, tag=5)
+        assert np.array_equal(received, np.arange(4))
+
+    def test_missing_message_raises(self):
+        world = SimulatedCommunicator(2)
+        with pytest.raises(RuntimeError):
+            world.rank(1).recv(0)
+
+    def test_byte_accounting(self):
+        world = SimulatedCommunicator(2)
+        payload = np.zeros(100, dtype=np.float64)
+        world.rank(0).send(1, payload)
+        assert world.total_bytes() == pytest.approx(payload.nbytes)
+        assert world.total_messages() == 1
+        assert world.estimate_time() > 0.0
+
+    def test_round_accounting_is_critical_path(self):
+        network = NetworkModel(latency_seconds=1.0, bandwidth_bytes_per_second=1e12)
+        world = SimulatedCommunicator(3, network)
+        # Two sends in the same round by different ranks: concurrent, cost ~1 latency.
+        world.rank(0).send(1, np.zeros(10))
+        world.rank(2).send(1, np.zeros(10))
+        single_round = world.estimate_time()
+        world.next_round()
+        world.rank(0).send(1, np.zeros(10))
+        two_rounds = world.estimate_time()
+        assert single_round == pytest.approx(1.0, rel=1e-6)
+        assert two_rounds == pytest.approx(2.0, rel=1e-6)
+
+    def test_gather(self):
+        world = SimulatedCommunicator(3)
+        results = []
+        for rank in (1, 2, 0):
+            results.append(world.rank(rank).gather(rank * 10, root=0))
+        gathered = [r for r in results if r is not None][0]
+        assert gathered == [0, 10, 20]
+
+    def test_invalid_ranks(self):
+        world = SimulatedCommunicator(2)
+        with pytest.raises(IndexError):
+            world.rank(5)
+        with pytest.raises(IndexError):
+            world.rank(0).send(7, 1)
+        with pytest.raises(ValueError):
+            SimulatedCommunicator(0)
+
+
+class TestDecomposition:
+    @given(st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_factor_into_blocks_product(self, n):
+        grid = factor_into_blocks(n)
+        assert np.prod(grid) == n
+        assert all(g >= 1 for g in grid)
+
+    def test_block_bounds_tile_domain(self):
+        decomposition = BlockDecomposition(num_tasks=8, cells_per_task=4)
+        total_volume = sum(np.prod(decomposition.block_bounds(rank).extent) for rank in range(8))
+        assert total_volume == pytest.approx(np.prod(decomposition.global_bounds.extent))
+        assert decomposition.total_cells == 8 * 4**3
+
+    def test_block_grids_cover_global_bounds(self):
+        decomposition = BlockDecomposition(num_tasks=4, cells_per_task=3)
+        for rank in range(4):
+            grid = decomposition.block_grid_for_rank(rank)
+            assert decomposition.global_bounds.contains_points(grid.points(), tol=1e-9).all()
+
+    def test_field_continuous_across_blocks(self):
+        decomposition = BlockDecomposition(num_tasks=2, cells_per_task=4)
+        field = lambda pts: pts[:, 0] + 2 * pts[:, 1]
+        grids = [decomposition.block_grid_with_field(rank, "f", field) for rank in range(2)]
+        # Shared face points must carry identical values.
+        points_a, points_b = grids[0].points(), grids[1].points()
+        values_a, values_b = grids[0].point_fields["f"], grids[1].point_fields["f"]
+        shared_a = values_a[np.isclose(points_a[:, 0], decomposition.block_bounds(0).high[0])]
+        shared_b = values_b[np.isclose(points_b[:, 0], decomposition.block_bounds(1).low[0])]
+        assert np.allclose(np.sort(shared_a), np.sort(shared_b))
+
+    def test_neighbors_symmetric(self):
+        decomposition = BlockDecomposition(num_tasks=8, cells_per_task=2)
+        for rank in range(8):
+            for neighbor in decomposition.neighbor_ranks(rank):
+                assert rank in decomposition.neighbor_ranks(neighbor)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockDecomposition(num_tasks=0, cells_per_task=4)
+        with pytest.raises(ValueError):
+            BlockDecomposition(num_tasks=4, cells_per_task=4, block_grid=(1, 1, 3))
+        with pytest.raises(IndexError):
+            BlockDecomposition(num_tasks=2, cells_per_task=2).block_index(5)
+
+
+class TestCompositePixels:
+    def test_depth_mode_picks_nearer(self):
+        rgba, depth = composite_pixels(
+            np.array([[1.0, 0, 0, 1]]), np.array([2.0]), np.array([[0, 1.0, 0, 1]]), np.array([1.0]), "depth"
+        )
+        assert rgba[0, 1] == 1.0
+        assert depth[0] == 1.0
+
+    def test_over_mode_blends(self):
+        rgba, depth = composite_pixels(
+            np.array([[1.0, 0, 0, 0.5]]), np.array([0.0]), np.array([[0, 1.0, 0, 1.0]]), np.array([1.0]), "over"
+        )
+        assert rgba[0, 3] == pytest.approx(1.0)
+        assert depth[0] == 0.0
+        assert rgba[0, 0] > 0 and rgba[0, 1] > 0
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            composite_pixels(np.zeros((1, 4)), np.zeros(1), np.zeros((1, 4)), np.zeros(1), "nope")
+
+    def test_subimage_roundtrip(self, rng):
+        fb = _random_framebuffers(rng, 1)[0]
+        sub = from_framebuffer(fb)
+        assert sub.active_pixels() == fb.active_pixels()
+        back = sub.to_framebuffer()
+        assert np.allclose(back.rgba, fb.rgba)
+        assert np.allclose(back.depth, fb.depth)
+
+    def test_subimage_validation(self):
+        with pytest.raises(ValueError):
+            SubImage(np.zeros((3, 4)), np.zeros(3), 2, 2)
+
+
+class TestCompositor:
+    @pytest.mark.parametrize("algorithm", ["direct-send", "binary-swap", "radix-k"])
+    @pytest.mark.parametrize("tasks", [1, 2, 3, 4, 5, 8, 12])
+    def test_depth_matches_serial_reference(self, rng, algorithm, tasks):
+        framebuffers = _random_framebuffers(rng, tasks)
+        result = Compositor(algorithm).composite([fb.copy() for fb in framebuffers], mode="depth")
+        reference = Compositor.serial_reference(framebuffers, mode="depth")
+        assert np.allclose(result.framebuffer.rgba, reference.rgba)
+        assert np.allclose(result.framebuffer.depth, reference.depth)
+
+    @pytest.mark.parametrize("algorithm", ["direct-send", "binary-swap", "radix-k"])
+    @pytest.mark.parametrize("tasks", [2, 3, 5, 7, 8, 16])
+    def test_over_matches_serial_reference(self, rng, algorithm, tasks):
+        framebuffers = _random_framebuffers(rng, tasks, alpha=0.6)
+        visibility = list(rng.permutation(tasks).astype(float))
+        result = Compositor(algorithm).composite(
+            [fb.copy() for fb in framebuffers], mode="over", visibility_order=visibility
+        )
+        reference = Compositor.serial_reference(framebuffers, mode="over", visibility_order=visibility)
+        assert np.allclose(result.framebuffer.rgba, reference.rgba, atol=1e-9)
+
+    def test_algorithms_agree_with_each_other(self, rng):
+        framebuffers = _random_framebuffers(rng, 6, alpha=0.5)
+        visibility = list(np.arange(6, dtype=float))
+        images = []
+        for algorithm in ("direct-send", "binary-swap", "radix-k"):
+            result = Compositor(algorithm).composite(
+                [fb.copy() for fb in framebuffers], mode="over", visibility_order=visibility
+            )
+            images.append(result.framebuffer.rgba)
+        assert np.allclose(images[0], images[1], atol=1e-9)
+        assert np.allclose(images[0], images[2], atol=1e-9)
+
+    def test_result_accounting(self, rng):
+        framebuffers = _random_framebuffers(rng, 4)
+        result = Compositor("radix-k").composite(framebuffers, mode="depth")
+        assert result.bytes_exchanged > 0
+        assert result.messages > 0
+        assert result.merge_operations > 0
+        assert result.network_seconds > 0
+        assert result.total_seconds >= result.local_seconds
+        assert result.num_tasks == 4
+        assert result.average_active_pixels > 0
+
+    def test_more_pixels_more_bytes(self, rng):
+        small = Compositor("radix-k").composite(_random_framebuffers(rng, 4, width=8, height=8), mode="depth")
+        large = Compositor("radix-k").composite(_random_framebuffers(rng, 4, width=32, height=32), mode="depth")
+        assert large.bytes_exchanged > small.bytes_exchanged
+
+    def test_validation(self, rng):
+        framebuffers = _random_framebuffers(rng, 2)
+        with pytest.raises(ValueError):
+            Compositor("nope")
+        with pytest.raises(ValueError):
+            Compositor().composite([], mode="depth")
+        with pytest.raises(ValueError):
+            Compositor().composite(framebuffers, mode="over")
+        with pytest.raises(ValueError):
+            Compositor().composite(framebuffers, mode="over", visibility_order=[0.0])
+        with pytest.raises(ValueError):
+            Compositor().composite(framebuffers, mode="nope")
+
+    def test_factor_radices(self):
+        for n in (1, 2, 3, 4, 6, 8, 12, 16, 30):
+            assert int(np.prod(factor_radices(n))) == n
+        with pytest.raises(ValueError):
+            factor_radices(0)
+
+    def test_single_task_identity(self, rng):
+        framebuffers = _random_framebuffers(rng, 1)
+        result = Compositor("binary-swap").composite([framebuffers[0].copy()], mode="depth")
+        assert np.allclose(result.framebuffer.rgba, framebuffers[0].rgba)

@@ -1,0 +1,205 @@
+"""Tests for the data-parallel primitives framework."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dpp import (
+    SOAArray,
+    exclusive_scan,
+    gather,
+    get_device,
+    get_instrumentation,
+    inclusive_scan,
+    list_devices,
+    map_field,
+    reduce_field,
+    reverse_index,
+    scatter,
+    stream_compact,
+    use_device,
+)
+from repro.dpp.instrument import reset_instrumentation
+
+
+@pytest.fixture(autouse=True)
+def _clean_instrumentation():
+    reset_instrumentation()
+    yield
+    reset_instrumentation()
+
+
+class TestDevices:
+    def test_both_devices_registered(self):
+        assert "vectorized" in list_devices()
+        assert "serial" in list_devices()
+
+    def test_use_device_context(self):
+        with use_device("serial") as device:
+            assert device.name == "serial"
+            assert get_device().name == "serial"
+        assert get_device().name == "vectorized"
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            get_device("does-not-exist")
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_serial_matches_vectorized_scan_reduce(self, values):
+        array = np.asarray(values, dtype=np.int64)
+        vec, ser = get_device("vectorized"), get_device("serial")
+        assert np.array_equal(vec.scan(array, True), ser.scan(array, True))
+        assert np.array_equal(vec.scan(array, False), ser.scan(array, False))
+        for op in ("add", "min", "max"):
+            assert vec.reduce(array, op) == ser.reduce(array, op)
+
+    def test_serial_matches_vectorized_gather_scatter(self, rng):
+        values = rng.random((20, 3))
+        indices = rng.integers(0, 20, size=15)
+        vec, ser = get_device("vectorized"), get_device("serial")
+        assert np.allclose(vec.gather(values, indices), ser.gather(values, indices))
+        out_a, out_b = np.zeros((25, 3)), np.zeros((25, 3))
+        unique = rng.permutation(25)[:20]
+        vec.scatter(values, unique, out_a)
+        ser.scatter(values, unique, out_b)
+        assert np.allclose(out_a, out_b)
+
+
+class TestPrimitives:
+    def test_map_field_single_output(self):
+        result = map_field(lambda a: a * 2, np.arange(5))
+        assert np.array_equal(result, np.arange(5) * 2)
+
+    def test_map_field_multiple_inputs(self):
+        result = map_field(lambda a, b: a + b, np.arange(4), np.ones(4))
+        assert np.array_equal(result, np.arange(4) + 1)
+
+    def test_map_field_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            map_field(lambda a, b: a, np.arange(3), np.arange(4))
+
+    def test_map_field_requires_input(self):
+        with pytest.raises(ValueError):
+            map_field(lambda: None)
+
+    def test_gather_basic_and_bounds(self):
+        values = np.arange(10) * 10
+        assert np.array_equal(gather(values, np.array([3, 1, 3])), [30, 10, 30])
+        with pytest.raises(IndexError):
+            gather(values, np.array([10]))
+        with pytest.raises(ValueError):
+            gather(values, np.array([[0, 1]]))
+
+    def test_scatter_basic_and_bounds(self):
+        out = np.zeros(5)
+        scatter(np.array([1.0, 2.0]), np.array([4, 0]), out)
+        assert np.array_equal(out, [2.0, 0.0, 0.0, 0.0, 1.0])
+        with pytest.raises(IndexError):
+            scatter(np.array([1.0]), np.array([9]), out)
+        with pytest.raises(ValueError):
+            scatter(np.array([1.0, 2.0]), np.array([0]), out)
+
+    def test_reduce_operators(self):
+        values = np.array([3.0, -1.0, 2.0])
+        assert reduce_field(values, "add") == pytest.approx(4.0)
+        assert reduce_field(values, "min") == pytest.approx(-1.0)
+        assert reduce_field(values, "max") == pytest.approx(3.0)
+
+    def test_reduce_empty(self):
+        assert reduce_field(np.array([], dtype=np.float64), "add") == 0
+        with pytest.raises(ValueError):
+            reduce_field(np.array([]), "min")
+
+    def test_reduce_unknown_operator(self):
+        with pytest.raises(ValueError):
+            reduce_field(np.arange(3), "mul")
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_scan_exclusive_inclusive_relation(self, values):
+        array = np.asarray(values, dtype=np.int64)
+        inclusive = inclusive_scan(array)
+        exclusive = exclusive_scan(array)
+        assert np.array_equal(inclusive, exclusive + array)
+        assert exclusive[0] == 0
+        assert inclusive[-1] == array.sum()
+
+    def test_reverse_index(self):
+        flags = np.array([True, False, True, True, False])
+        scanned = exclusive_scan(flags.astype(np.int64))
+        assert np.array_equal(reverse_index(scanned, flags), [0, 2, 3])
+
+    def test_reverse_index_length_mismatch(self):
+        with pytest.raises(ValueError):
+            reverse_index(np.zeros(3), np.zeros(4, dtype=bool))
+
+    @given(st.lists(st.booleans(), min_size=0, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_stream_compact_preserves_order_and_multiset(self, flags):
+        flags = np.asarray(flags, dtype=bool)
+        payload = np.arange(len(flags))
+        count, (survivors,) = stream_compact(flags, payload)
+        assert count == int(flags.sum())
+        assert np.array_equal(survivors, payload[flags])
+
+    def test_stream_compact_multiple_arrays(self, rng):
+        flags = rng.random(30) < 0.5
+        a = rng.random(30)
+        b = rng.random((30, 3))
+        count, (ca, cb) = stream_compact(flags, a, b)
+        assert len(ca) == len(cb) == count
+        assert np.allclose(ca, a[flags])
+        assert np.allclose(cb, b[flags])
+
+    def test_instrumentation_records_calls(self):
+        instrumentation = get_instrumentation()
+        with instrumentation.scope("unit-test"):
+            map_field(lambda a: a + 1, np.arange(100))
+            gather(np.arange(100), np.arange(50))
+        assert instrumentation.invocations("unit-test") == 2
+        assert instrumentation.elements("unit-test") == 150
+        assert instrumentation.bytes_moved("unit-test") > 0
+        assert instrumentation.seconds("unit-test") >= 0.0
+        assert "unit-test" in instrumentation.scopes()
+
+
+class TestSOAArray:
+    def test_field_length_validation(self):
+        soa = SOAArray({"a": np.arange(4)})
+        with pytest.raises(ValueError):
+            soa["b"] = np.arange(5)
+
+    def test_select_and_compact(self):
+        soa = SOAArray({"a": np.arange(6), "b": np.arange(6) * 2.0})
+        picked = soa.select(np.array([5, 0]))
+        assert picked["a"].tolist() == [5, 0]
+        compacted = soa.compact(np.array([True, False, True, False, False, False]))
+        assert compacted["b"].tolist() == [0.0, 4.0]
+
+    def test_compact_length_mismatch(self):
+        soa = SOAArray({"a": np.arange(3)})
+        with pytest.raises(ValueError):
+            soa.compact(np.array([True, False]))
+
+    def test_concatenate(self):
+        a = SOAArray({"x": np.arange(3)})
+        b = SOAArray({"x": np.arange(2)})
+        combined = a.concatenate(b)
+        assert len(combined) == 5
+        with pytest.raises(ValueError):
+            a.concatenate(SOAArray({"y": np.arange(2)}))
+
+    def test_copy_independent(self):
+        original = SOAArray({"x": np.arange(3)})
+        duplicate = original.copy()
+        duplicate["x"][0] = 99
+        assert original["x"][0] == 0
+
+    def test_nbytes_and_names(self):
+        soa = SOAArray({"a": np.zeros(4), "b": np.zeros((4, 2))})
+        assert soa.names == ["a", "b"]
+        assert soa.nbytes == 4 * 8 + 8 * 8

@@ -1,0 +1,272 @@
+"""Tests for the performance-modeling core: regression, CV, features, models, machines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines import ArchitectureSpec, KernelCostModel, get_architecture, list_architectures
+from repro.machines.costmodel import synthesize_render_time
+from repro.modeling import (
+    RasterizationModel,
+    RayTracingModel,
+    RenderingConfiguration,
+    VolumeRenderingModel,
+    fit_linear_model,
+    k_fold_cross_validation,
+    make_model,
+    map_configuration_to_features,
+)
+from repro.modeling.models import CompositingFeatures, CompositingModel, TotalRenderingModel
+from repro.modeling.regression import relative_errors
+from repro.rendering.result import ObservedFeatures
+
+
+def _synthetic_features(rng, count, technique="volume"):
+    features = []
+    for _ in range(count):
+        f = ObservedFeatures(
+            objects=int(rng.integers(1_000, 100_000)),
+            active_pixels=int(rng.integers(1_000, 200_000)),
+            cells_spanned=int(rng.integers(8, 64)),
+            samples_per_ray=float(rng.uniform(10, 200)),
+        )
+        if technique == "raster":
+            f.visible_objects = int(min(f.active_pixels, f.objects))
+            f.pixels_per_triangle = float(rng.uniform(2, 20))
+        features.append(f)
+    return features
+
+
+class TestRegression:
+    def test_exact_recovery_noise_free(self, rng):
+        design = np.column_stack([rng.random(30), rng.random(30), np.ones(30)])
+        truth = np.array([2.0, 0.5, 0.1])
+        result = fit_linear_model(design, design @ truth, ("a", "b", "c"))
+        assert np.allclose(result.coefficients, truth, atol=1e-10)
+        assert result.r_squared == pytest.approx(1.0)
+        assert result.residual_std == pytest.approx(0.0, abs=1e-10)
+        assert result.named_coefficients()["a"] == pytest.approx(2.0)
+        assert not result.has_negative_coefficients()
+
+    def test_nonnegative_constraint(self, rng):
+        design = np.column_stack([rng.random(40), np.ones(40)])
+        response = -design[:, 0] + 1.0  # the unconstrained slope would be negative
+        constrained = fit_linear_model(design, response, nonnegative=True)
+        assert np.all(constrained.coefficients >= 0.0)
+        unconstrained = fit_linear_model(design, response)
+        assert unconstrained.coefficients[0] < 0.0
+
+    def test_prediction_and_validation(self, rng):
+        design = np.column_stack([rng.random(20), np.ones(20)])
+        result = fit_linear_model(design, design @ np.array([1.0, 2.0]))
+        assert np.allclose(result.predict(design), design @ np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            result.predict(np.ones((3, 5)))
+        with pytest.raises(ValueError):
+            fit_linear_model(design[:1], np.ones(1))
+        with pytest.raises(ValueError):
+            fit_linear_model(design, np.ones(7))
+
+    def test_relative_errors_sign_convention(self):
+        errors = relative_errors(np.array([2.0, 2.0]), np.array([1.0, 3.0]))
+        assert errors[0] == pytest.approx(0.5)   # under-prediction -> positive
+        assert errors[1] == pytest.approx(-0.5)  # over-prediction -> negative
+
+    @given(st.integers(10, 60), st.floats(0.0, 0.2))
+    @settings(max_examples=20, deadline=None)
+    def test_r_squared_degrades_with_noise(self, n, noise):
+        rng = np.random.default_rng(42)
+        design = np.column_stack([rng.random(n), np.ones(n)])
+        clean = design @ np.array([3.0, 0.5])
+        noisy = clean + noise * clean.std() * rng.standard_normal(n) if clean.std() > 0 else clean
+        result = fit_linear_model(design, noisy)
+        assert 0.0 <= result.r_squared <= 1.0 + 1e-12
+
+
+class TestCrossValidation:
+    def test_perfect_model_perfect_cv(self, rng):
+        design = np.column_stack([rng.random(30), np.ones(30)])
+        response = design @ np.array([1.5, 0.2])
+        summary = k_fold_cross_validation(design, response, k=3, seed=1)
+        assert summary.fraction_within(5.0) == pytest.approx(1.0)
+        assert summary.average_error_percent < 1e-6
+        assert len(summary.errors) == 30
+        row = summary.accuracy_row()
+        assert row["within_50"] == 100.0
+
+    def test_accuracy_decreases_with_tolerance(self, rng):
+        design = np.column_stack([rng.random(40), np.ones(40)])
+        response = design @ np.array([1.0, 0.1]) + 0.05 * rng.standard_normal(40)
+        summary = k_fold_cross_validation(design, response, k=4, seed=3)
+        assert summary.fraction_within(50.0) >= summary.fraction_within(10.0) >= summary.fraction_within(1.0)
+
+    def test_validation_errors(self, rng):
+        design = np.ones((4, 1))
+        with pytest.raises(ValueError):
+            k_fold_cross_validation(design, np.ones(4), k=1)
+        with pytest.raises(ValueError):
+            k_fold_cross_validation(design, np.ones(4), k=3)
+
+    def test_deterministic_given_seed(self, rng):
+        design = np.column_stack([rng.random(30), np.ones(30)])
+        response = design @ np.array([1.0, 0.5]) + 0.01 * rng.standard_normal(30)
+        a = k_fold_cross_validation(design, response, seed=9)
+        b = k_fold_cross_validation(design, response, seed=9)
+        assert np.array_equal(a.errors, b.errors)
+
+
+class TestFeaturesMapping:
+    def test_surface_mapping_matches_paper_formulas(self):
+        config = RenderingConfiguration("raytrace", "cpu-host", num_tasks=8, cells_per_task=200, image_width=1024, image_height=1024)
+        features = map_configuration_to_features(config)
+        assert features.objects == 12 * 200 * 200
+        expected_ap = 0.55 * 1024 * 1024 / 2.0  # 8 tasks -> cube root 2
+        assert features.active_pixels == pytest.approx(expected_ap, abs=1.0)
+        assert features.cells_spanned == 200
+
+    def test_raster_mapping_visible_objects(self):
+        config = RenderingConfiguration("raster", "cpu-host", num_tasks=1, cells_per_task=50, image_width=256, image_height=256)
+        features = map_configuration_to_features(config)
+        assert features.visible_objects == min(features.active_pixels, features.objects)
+        assert features.pixels_per_triangle == pytest.approx(4.0 * features.active_pixels / features.visible_objects)
+
+    def test_volume_mapping_scales_with_samples(self):
+        lo = map_configuration_to_features(
+            RenderingConfiguration("volume", "cpu-host", 1, 64, 128, 128, samples_in_depth=500)
+        )
+        hi = map_configuration_to_features(
+            RenderingConfiguration("volume", "cpu-host", 1, 64, 128, 128, samples_in_depth=1000)
+        )
+        assert hi.samples_per_ray == pytest.approx(2.0 * lo.samples_per_ray)
+        assert lo.objects == 64**3
+
+    def test_more_tasks_fewer_active_pixels(self):
+        few = map_configuration_to_features(RenderingConfiguration("raytrace", "cpu-host", 1, 100, 512, 512))
+        many = map_configuration_to_features(RenderingConfiguration("raytrace", "cpu-host", 64, 100, 512, 512))
+        assert many.active_pixels < few.active_pixels
+
+    def test_configuration_validation(self):
+        with pytest.raises(ValueError):
+            RenderingConfiguration("nope", "cpu-host", 1, 10, 64, 64)
+        with pytest.raises(ValueError):
+            RenderingConfiguration("raytrace", "cpu-host", 0, 10, 64, 64)
+        with pytest.raises(ValueError):
+            RenderingConfiguration("raytrace", "cpu-host", 1, 10, 0, 64)
+
+
+class TestModels:
+    def test_volume_model_recovers_planted_coefficients(self, rng):
+        features = _synthetic_features(rng, 40)
+        truth = np.array([3e-9, 5e-8, 1e-3])
+        model = VolumeRenderingModel()
+        times = model.design_matrix(features) @ truth
+        model.fit(features, times)
+        assert model.r_squared > 0.999
+        fitted = np.array(list(model.coefficients.values()))
+        assert np.allclose(fitted, truth, rtol=1e-3, atol=1e-9)
+        prediction = model.predict(features[0])
+        assert prediction == pytest.approx(times[0], rel=1e-3)
+
+    def test_raster_model_fit_and_predict(self, rng):
+        features = _synthetic_features(rng, 30, technique="raster")
+        model = RasterizationModel()
+        truth = np.array([2e-8, 4e-9, 5e-4])
+        times = model.design_matrix(features) @ truth
+        model.fit(features, times + 0.01 * times.std() * rng.standard_normal(len(times)))
+        assert model.r_squared > 0.95
+        assert np.all(np.array(list(model.coefficients.values())) >= 0.0)
+
+    def test_raytracing_model_build_and_frame(self, rng):
+        features = _synthetic_features(rng, 30)
+        model = RayTracingModel()
+        build_truth = np.array([5e-8, 1e-3])
+        frame_truth = np.array([2e-9, 3e-8, 2e-3])
+        build_times = model.build_design(features) @ build_truth
+        frame_times = model.frame_design(features) @ frame_truth
+        model.fit(features, build_times, frame_times)
+        total = model.predict(features[0])
+        frame_only = model.predict(features[0], include_build=False)
+        assert total > frame_only
+        assert total == pytest.approx(build_times[0] + frame_times[0], rel=1e-3)
+        assert set(model.coefficients) == {
+            "c0_objects", "c1_intercept", "c2_ap_log_o", "c3_ap", "c4_intercept",
+        }
+
+    def test_compositing_and_total_models(self, rng):
+        comp_features = [CompositingFeatures(rng.uniform(1e3, 1e5), int(rng.integers(1e4, 1e6))) for _ in range(25)]
+        comp = CompositingModel()
+        truth = np.array([2e-8, 5e-8, 1e-3])
+        times = comp.design_matrix(comp_features) @ truth
+        comp.fit(comp_features, times)
+        assert comp.r_squared > 0.999
+
+        volume = VolumeRenderingModel()
+        vol_features = _synthetic_features(rng, 20)
+        volume.fit(vol_features, volume.design_matrix(vol_features) @ np.array([1e-9, 1e-8, 1e-3]))
+        total_model = TotalRenderingModel(volume, comp)
+        total = total_model.predict(vol_features[:4], comp_features[0])
+        assert total > 0
+        with pytest.raises(ValueError):
+            total_model.predict([], comp_features[0])
+
+    def test_unfit_model_raises(self):
+        with pytest.raises(RuntimeError):
+            VolumeRenderingModel().predict(ObservedFeatures())
+        with pytest.raises(RuntimeError):
+            RayTracingModel().predict(ObservedFeatures())
+
+    def test_make_model_factory(self):
+        assert isinstance(make_model("raytrace"), RayTracingModel)
+        assert isinstance(make_model("raster"), RasterizationModel)
+        assert isinstance(make_model("volume"), VolumeRenderingModel)
+        assert isinstance(make_model("compositing"), CompositingModel)
+        with pytest.raises(ValueError):
+            make_model("nope")
+
+
+class TestMachines:
+    def test_registry_contains_study_devices(self):
+        names = list_architectures()
+        for expected in ("cpu1-surface", "gpu1-k40m", "gpu2-titan-k20", "mic-phi-ispc"):
+            assert expected in names
+        assert get_architecture("gpu1-k40m").kind == "gpu"
+        with pytest.raises(KeyError):
+            get_architecture("nope")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ArchitectureSpec("x", "cpu", 0, 1, 1, 1, 1, 1, 1)
+
+    def test_gpu_faster_than_cpu_for_same_features(self):
+        features = ObservedFeatures(objects=50_000, active_pixels=500_000, samples_per_ray=100, cells_spanned=128)
+        cpu = KernelCostModel("cpu1-surface", seed=1).total("volume_structured", features)
+        gpu = KernelCostModel("gpu1-k40m", seed=1).total("volume_structured", features)
+        assert gpu < cpu
+
+    def test_ispc_backend_faster_than_openmp_on_phi(self):
+        features = ObservedFeatures(objects=100_000, active_pixels=1_000_000)
+        openmp = KernelCostModel("mic-phi-openmp", seed=2).total("raytrace", features, include_build=False)
+        ispc = KernelCostModel("mic-phi-ispc", seed=2).total("raytrace", features, include_build=False)
+        assert ispc < openmp
+        assert openmp / ispc > 3.0  # the paper reports 5x-9x speedups
+
+    def test_synthesized_time_scales_with_work(self):
+        small = ObservedFeatures(objects=1_000, active_pixels=10_000)
+        large = ObservedFeatures(objects=1_000, active_pixels=1_000_000)
+        spec = get_architecture("gpu1-k40m")
+        rng = np.random.default_rng(0)
+        t_small = sum(synthesize_render_time(spec, "raytrace", small, rng).values())
+        t_large = sum(synthesize_render_time(spec, "raytrace", large, rng).values())
+        assert t_large > t_small
+
+    def test_unknown_technique(self):
+        with pytest.raises(ValueError):
+            synthesize_render_time("gpu1-k40m", "nope", ObservedFeatures())
+
+    def test_frames_per_second_helper(self):
+        features = ObservedFeatures(objects=10_000, active_pixels=100_000)
+        fps = KernelCostModel("gpu-titan-black", seed=3).frames_per_second("raytrace", features)
+        assert fps > 0
