@@ -1,0 +1,7 @@
+"""Benchmark harness package.
+
+Making this a package lets the perf-trajectory emitter run as a module:
+``PYTHONPATH=src python -m benchmarks.emit_bench``.  The individual
+``bench_*.py`` files remain runnable through pytest (they import helpers from
+``common`` via the ``conftest.py`` path hook).
+"""

@@ -38,6 +38,11 @@ __all__ = [
 #: through the cost model).
 BENCH_IMAGE_SIZE = 96
 
+#: Larger image size used by the traversal-throughput trajectory benchmarks
+#: (`bench_traversal_throughput.py`), within reach since the
+#: compacted-frontier traversal engine landed.
+BENCH_IMAGE_SIZE_LARGE = 192
+
 #: Full-scale pixel count the synthetic throughput numbers are quoted at.
 FULL_SCALE_PIXELS = 1920 * 1080
 

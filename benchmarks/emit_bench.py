@@ -1,0 +1,71 @@
+"""Emit the repo's ray-tracing perf trajectory record (``BENCH_raytracer.json``).
+
+Usage (from the repository root):
+
+    PYTHONPATH=src python -m benchmarks.emit_bench [output.json]
+
+Runs the traversal-throughput benchmark (WORKLOAD1-3 at 96^2 and 192^2 over
+the rm-family scene subset), verifies the engine differentially against the
+brute-force intersector on every pool scene, and writes a JSON record holding
+the seed-engine baseline, the current engine's Mrays/s, and the speedups --
+so each PR's perf delta on the ray-tracing hot path is tracked in-repo.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+
+_BENCH_DIR = Path(__file__).resolve().parent
+if str(_BENCH_DIR) not in sys.path:  # allow `python -m benchmarks.emit_bench`
+    sys.path.insert(0, str(_BENCH_DIR))
+
+import numpy as np
+
+from bench_traversal_throughput import (
+    SEED_BASELINE_MRAYS,
+    measure_all,
+    verify_pool_differential,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    output = Path(argv[0]) if argv else _BENCH_DIR.parent / "BENCH_raytracer.json"
+    if not output.parent.is_dir():
+        print(f"error: output directory {output.parent} does not exist", file=sys.stderr)
+        return 2
+
+    print("verifying engine against brute force on every pool scene ...")
+    verify_pool_differential()
+    print("measuring throughput ...")
+    results = measure_all()
+
+    record = {
+        "benchmark": "traversal_throughput",
+        "units": "Mrays/s",
+        "scenes": "surface_scene_pool()[0:3] (rm family)",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "seed_baseline": SEED_BASELINE_MRAYS,
+        "current": {key: round(value["mrays_per_s"], 4) for key, value in results.items()},
+        "speedup_vs_seed": {
+            key: round(value["mrays_per_s"] / SEED_BASELINE_MRAYS[key], 2)
+            for key, value in results.items()
+        },
+        "detail": {
+            key: {"rays": value["rays"], "seconds": round(value["seconds"], 4)}
+            for key, value in results.items()
+        },
+    }
+    output.write_text(json.dumps(record, indent=2) + "\n")
+    for key, value in record["current"].items():
+        print(f"  {key:24s} {value:8.4f} Mrays/s  ({record['speedup_vs_seed'][key]}x seed)")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

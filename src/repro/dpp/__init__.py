@@ -40,6 +40,7 @@ from repro.dpp.primitives import (
     reduce_field,
     reverse_index,
     scatter,
+    segmented_argmin,
     stream_compact,
 )
 
@@ -62,6 +63,7 @@ __all__ = [
     "register_device",
     "reverse_index",
     "scatter",
+    "segmented_argmin",
     "stream_compact",
     "use_device",
 ]

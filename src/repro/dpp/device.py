@@ -70,6 +70,19 @@ class Device:
     def scan(self, values: np.ndarray, inclusive: bool) -> np.ndarray:
         raise NotImplementedError
 
+    def segmented_argmin(
+        self, values: np.ndarray, starts: np.ndarray, tiebreak: np.ndarray
+    ) -> np.ndarray:
+        """Global index of the minimum of each contiguous segment of ``values``.
+
+        ``starts`` are the segment start offsets (ascending, ``starts[0] == 0``,
+        every segment non-empty).  Ties on the value are broken by the smallest
+        ``tiebreak`` entry, then by position, making the result deterministic
+        across devices.  Used by the ray tracer's batched leaf intersector to
+        pick the winning triangle per ray.
+        """
+        raise NotImplementedError
+
 
 class VectorizedDevice(Device):
     """numpy-backed device adapter (the production back-end)."""
@@ -105,6 +118,23 @@ class VectorizedDevice(Device):
         exclusive[0] = 0
         exclusive[1:] = result[:-1]
         return exclusive
+
+    def segmented_argmin(
+        self, values: np.ndarray, starts: np.ndarray, tiebreak: np.ndarray
+    ) -> np.ndarray:
+        total = len(values)
+        segment_of = np.repeat(
+            np.arange(len(starts), dtype=np.int64),
+            np.diff(np.append(starts, total)),
+        )
+        segment_min = np.minimum.reduceat(values, starts)
+        at_min = values == segment_min[segment_of]
+        big = np.iinfo(np.int64).max
+        masked_tiebreak = np.where(at_min, tiebreak, big)
+        segment_tiebreak = np.minimum.reduceat(masked_tiebreak, starts)
+        winning = at_min & (masked_tiebreak == segment_tiebreak[segment_of])
+        positions = np.where(winning, np.arange(total, dtype=np.int64), total)
+        return np.minimum.reduceat(positions, starts)
 
 
 class SerialDevice(Device):
@@ -163,6 +193,20 @@ class SerialDevice(Device):
             else:
                 out[position] = running
                 running = running + value
+        return out
+
+    def segmented_argmin(
+        self, values: np.ndarray, starts: np.ndarray, tiebreak: np.ndarray
+    ) -> np.ndarray:
+        boundaries = list(starts) + [len(values)]
+        out = np.empty(len(starts), dtype=np.int64)
+        for segment in range(len(starts)):
+            best = boundaries[segment]
+            for position in range(boundaries[segment] + 1, boundaries[segment + 1]):
+                key = (values[position], tiebreak[position], position)
+                if key < (values[best], tiebreak[best], best):
+                    best = position
+            out[segment] = best
         return out
 
 

@@ -33,6 +33,7 @@ __all__ = [
     "inclusive_scan",
     "exclusive_scan",
     "reverse_index",
+    "segmented_argmin",
     "stream_compact",
 ]
 
@@ -182,6 +183,61 @@ def reverse_index(scan_result: np.ndarray, flags: np.ndarray) -> np.ndarray:
     if len(flags) != len(scan_result):
         raise ValueError("flags and scan_result must have equal length")
     return np.flatnonzero(flags).astype(np.int64)
+
+
+def segmented_argmin(
+    values: np.ndarray,
+    segment_starts: np.ndarray,
+    tiebreak: np.ndarray,
+    device: str | None = None,
+) -> np.ndarray:
+    """Global index of the minimum value within each contiguous segment.
+
+    This is the segmented-reduction primitive behind the ray tracer's batched
+    leaf intersection: all candidate ``(ray, triangle)`` pair distances are
+    laid out contiguously per ray, and one segmented argmin picks each ray's
+    winning triangle.  Ties on the value are broken by the smallest
+    ``tiebreak`` entry (the triangle id), then by position, so the result is
+    deterministic and matches a serial first-minimum sweep.
+
+    Parameters
+    ----------
+    values:
+        One-dimensional array of segment-concatenated values.
+    segment_starts:
+        Ascending start offsets, one per segment; ``segment_starts[0]`` must
+        be 0 and every segment must be non-empty.
+    tiebreak:
+        Integer array the same length as ``values`` used to break value ties.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` positions into ``values``, one per segment.
+    """
+    values = np.asarray(values)
+    segment_starts = np.asarray(segment_starts, dtype=np.int64)
+    tiebreak = np.asarray(tiebreak)
+    if values.ndim != 1 or tiebreak.ndim != 1:
+        raise ValueError("segmented_argmin values and tiebreak must be one-dimensional")
+    if len(values) != len(tiebreak):
+        raise ValueError("segmented_argmin values and tiebreak must have equal length")
+    if len(segment_starts) == 0:
+        return np.empty(0, dtype=np.int64)
+    if segment_starts[0] != 0:
+        raise ValueError("segmented_argmin segment_starts must begin at 0")
+    if np.any(np.diff(segment_starts) <= 0) or segment_starts[-1] >= len(values):
+        raise ValueError("segmented_argmin segments must be non-empty and ascending")
+    if np.isnan(values.min()):
+        # NaN never compares as a minimum, so the devices cannot agree on a
+        # winner for it; reject it rather than diverge (use +inf for "no
+        # candidate", as the ray tracer's masked intersection distances do).
+        raise ValueError("segmented_argmin values must not contain NaN")
+    start = time.perf_counter()
+    result = get_device(device).segmented_argmin(values, segment_starts, tiebreak)
+    elapsed = time.perf_counter() - start
+    _record("segmented_argmin", len(values), (values, segment_starts, tiebreak, result), elapsed)
+    return result
 
 
 def stream_compact(flags: np.ndarray, *arrays: np.ndarray, device: str | None = None):

@@ -52,6 +52,9 @@ class TriangleMesh:
     vertices: np.ndarray
     triangles: np.ndarray
     scalars: np.ndarray | None = None
+    _corners_cache: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.vertices = np.asarray(self.vertices, dtype=np.float64)
@@ -84,8 +87,22 @@ class TriangleMesh:
         return AABB(self.vertices.min(axis=0), self.vertices.max(axis=0))
 
     def corners(self) -> np.ndarray:
-        """Per-triangle corner coordinates, shape ``(nt, 3, 3)``."""
-        return self.vertices[self.triangles]
+        """Per-triangle corner coordinates, shape ``(nt, 3, 3)``.
+
+        The expansion is cached on first use (the geometry is treated as
+        immutable after construction): the ray tracer's secondary stages issue
+        many ``any_hit`` queries against the same mesh, and rebuilding the
+        corner array per query dominated their per-call overhead.  Call
+        :meth:`invalidate_caches` after mutating ``vertices``/``triangles``
+        in place.
+        """
+        if self._corners_cache is None:
+            self._corners_cache = self.vertices[self.triangles]
+        return self._corners_cache
+
+    def invalidate_caches(self) -> None:
+        """Drop derived-geometry caches after an in-place mutation."""
+        self._corners_cache = None
 
     def centroids(self) -> np.ndarray:
         """Per-triangle centroids."""

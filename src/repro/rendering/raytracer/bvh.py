@@ -19,12 +19,12 @@ two child indices (internal nodes) or the primitive range (leaves).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.geometry.triangles import TriangleMesh
-from repro.util.morton import morton_order_points
+from repro.util.morton import morton_codes_points
 
 __all__ = ["BVH", "build_bvh"]
 
@@ -61,6 +61,9 @@ class BVH:
     primitive_order: np.ndarray
     leaf_size: int
     method: str
+    _triangle_soa: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+    _node_boxes: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+    _max_depth: int | None = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def num_nodes(self) -> int:
@@ -75,18 +78,77 @@ class BVH:
         return self.primitive_count[node] > 0
 
     def max_depth(self) -> int:
-        """Depth of the deepest node (root = 0), via an explicit stack."""
-        if self.num_nodes == 0:
-            return 0
-        deepest = 0
-        stack = [(0, 0)]
-        while stack:
-            node, depth = stack.pop()
-            deepest = max(deepest, depth)
-            if self.primitive_count[node] == 0:
-                stack.append((int(self.left_child[node]), depth + 1))
-                stack.append((int(self.right_child[node]), depth + 1))
-        return deepest
+        """Depth of the deepest node (root = 0), computed once and cached."""
+        if self._max_depth is None:
+            if self.num_nodes == 0:
+                self._max_depth = 0
+            else:
+                deepest = 0
+                stack = [(0, 0)]
+                while stack:
+                    node, depth = stack.pop()
+                    deepest = max(deepest, depth)
+                    if self.primitive_count[node] == 0:
+                        stack.append((int(self.left_child[node]), depth + 1))
+                        stack.append((int(self.right_child[node]), depth + 1))
+                self._max_depth = deepest
+        return self._max_depth
+
+    def triangle_soa(
+        self, mesh: TriangleMesh, dtype: np.dtype | type = np.float64
+    ) -> tuple[np.ndarray, ...]:
+        """Cached per-component triangle corner/edge SoA for the traversal kernel.
+
+        Returns nine flat arrays ``(v0x, v0y, v0z, e1x, e1y, e1z, e2x, e2y,
+        e2z)``.  The seed kernel re-expanded ``mesh.corners()`` and re-derived
+        the Moller-Trumbore edge vectors on every ``closest_hit``/``any_hit``
+        call; the frontier engine instead computes them once per (BVH, dtype)
+        and reuses them across queries.  The cache is tied to the identity of
+        the mesh's corner expansion, so passing a different mesh -- or
+        mutating the mesh in place and calling
+        :meth:`~repro.geometry.triangles.TriangleMesh.invalidate_caches` --
+        recomputes rather than serving stale geometry.
+        """
+        dtype = np.dtype(dtype)
+        corners = mesh.corners()
+        cached = self._triangle_soa.get(dtype)
+        if cached is None or cached[0] is not corners:
+            v0 = corners[:, 0]
+            edge1 = corners[:, 1] - corners[:, 0]
+            edge2 = corners[:, 2] - corners[:, 0]
+            soa = tuple(
+                np.ascontiguousarray(vectors[:, axis], dtype=dtype)
+                for vectors in (v0, edge1, edge2)
+                for axis in range(3)
+            )
+            cached = (corners, soa)
+            self._triangle_soa[dtype] = cached
+        return cached[1]
+
+    def node_boxes(self, dtype: np.dtype | type = np.float64) -> tuple[np.ndarray, ...]:
+        """Cached per-component node AABB corners cast to ``dtype``.
+
+        Returns six flat arrays ``(lx, ly, lz, hx, hy, hz)``.  Casting
+        ``float64`` boxes down to ``float32`` rounds to nearest, which could
+        shrink a box by half an ulp and cause a false miss; the cast is
+        therefore padded one ulp outward on each side, keeping the
+        reduced-precision traversal conservative.
+        """
+        dtype = np.dtype(dtype)
+        cached = self._node_boxes.get(dtype)
+        if cached is None:
+            low = self.node_low.astype(dtype, copy=False)
+            high = self.node_high.astype(dtype, copy=False)
+            if dtype != self.node_low.dtype:
+                low = np.nextafter(low, dtype.type(-np.inf))
+                high = np.nextafter(high, dtype.type(np.inf))
+            cached = tuple(
+                np.ascontiguousarray(corner[:, axis])
+                for corner in (low, high)
+                for axis in range(3)
+            )
+            self._node_boxes[dtype] = cached
+        return cached
 
     def validate(self, mesh: TriangleMesh, tolerance: float = 1e-9) -> bool:
         """Check containment invariants: every node box bounds its subtree.
@@ -188,9 +250,27 @@ class _Builder:
         )
 
 
-def _midpoint_split(order: np.ndarray, start: int, end: int) -> int:
-    """LBVH split: the midpoint of the Morton-sorted range."""
-    return (start + end) // 2
+def _make_lbvh_split(sorted_codes: np.ndarray):
+    """Karras-style LBVH split over the Morton-sorted primitive range.
+
+    Each range splits where the highest differing bit of its first and last
+    Morton codes flips -- the spatial plane of the Z-order cell -- which
+    produces far less node overlap (and therefore fewer traversal visits)
+    than splitting the range at its midpoint.  Ranges whose codes are all
+    identical fall back to the midpoint.
+    """
+
+    def split(order: np.ndarray, start: int, end: int) -> int:
+        first = int(sorted_codes[start])
+        last = int(sorted_codes[end - 1])
+        if first == last:
+            return (start + end) // 2
+        top_bit = (first ^ last).bit_length() - 1
+        # First index whose code has the highest differing bit set.
+        threshold = ((first >> top_bit) | 1) << top_bit
+        return start + int(np.searchsorted(sorted_codes[start:end], threshold))
+
+    return split
 
 
 def _make_sah_split(lows: np.ndarray, highs: np.ndarray, centroids: np.ndarray, num_bins: int = 8):
@@ -270,8 +350,9 @@ def build_bvh(
     centroids = mesh.centroids()
     builder = _Builder(lows, highs, centroids, leaf_size)
     if method == "lbvh":
-        order = morton_order_points(centroids)
-        order = builder.build(order, _midpoint_split)
+        codes = morton_codes_points(centroids)
+        order = np.argsort(codes, kind="stable")
+        order = builder.build(order, _make_lbvh_split(codes[order]))
     elif method == "sah":
         order = np.arange(mesh.num_triangles, dtype=np.int64)
         order = builder.build(order, _make_sah_split(lows, highs, centroids))

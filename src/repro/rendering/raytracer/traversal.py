@@ -1,18 +1,43 @@
 """Vectorized ray-AABB tests, ray-triangle intersection, and BVH traversal.
 
 Traversal follows the spirit of the "if-if" algorithm of Aila and Laine that
-the paper's ray tracer adapts: each ray repeatedly pops a node from its own
-stack, tests the node's box, and either descends (pushing both children) or
-intersects the leaf's triangles.  The reproduction executes this SIMT-style:
-a whole batch of rays advances one stack operation per iteration with all of
-the arithmetic done by numpy over the currently active rays, which is the
-data-parallel analogue of a warp executing the same step for many rays.
+the paper's ray tracer adapts, executed as a **compacted-frontier engine**:
+
+* All mutable ray state -- origins, directions, reciprocal directions,
+  per-ray traversal stacks, and best-hit records -- is gathered once into a
+  contiguous structure-of-arrays *frontier* (one flat array per vector
+  component).  The SIMT loop runs entirely on the frontier, so every
+  vectorized step touches only resident rays instead of fancy-indexing
+  full-width ray arrays.
+* Traversal is **ordered**: popping an internal node tests both child boxes
+  componentwise, computes their entry distances, and pushes the far child
+  below the near child; pushes -- and pops, via the entry distance carried on
+  the stack -- whose entry already exceeds the ray's closest hit are culled.
+  Leaf children are intersected immediately at discovery instead of being
+  pushed, so the stack holds internal nodes only and the loop advances one
+  *internal* node per ray per iteration.
+* Leaf intersection is **batched**: every ``(ray, triangle)`` candidate pair
+  of an iteration is expanded with ``np.repeat`` + segment-local indices (the
+  same idiom as the volume renderer's ``pair_chunk`` sampler) and tested in a
+  single Moller-Trumbore evaluation; each ray's winner is selected with the
+  device-routed :func:`repro.dpp.primitives.segmented_argmin`.
+* As rays retire the frontier is periodically **re-compacted** through
+  :func:`repro.dpp.primitives.stream_compact`, and retiring rays' results are
+  scattered back to full-width output arrays through
+  :func:`repro.dpp.primitives.scatter` -- so the data-parallel instrumentation
+  choke point (:class:`repro.dpp.instrument.OpCounters`) observes the
+  traversal work just as it observes every other pipeline stage.
 
 Two query types are provided:
 
 * :func:`closest_hit` -- nearest intersection per ray (primary rays, shading).
 * :func:`any_hit` -- boolean occlusion within a distance (shadows, ambient
   occlusion).
+
+Both accept an optional reduced-precision ``dtype`` (``float32``) for the
+mutable ray state; the default ``float64`` path selects hits identically to
+:func:`brute_force_closest_hit` (both run the same componentwise
+Moller-Trumbore kernel).
 """
 
 from __future__ import annotations
@@ -21,13 +46,30 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.dpp.primitives import scatter, segmented_argmin, stream_compact
 from repro.geometry.triangles import TriangleMesh
 from repro.rendering.raytracer.bvh import BVH
 
-__all__ = ["HitRecord", "closest_hit", "any_hit", "ray_aabb_intersect", "moller_trumbore"]
+__all__ = [
+    "HitRecord",
+    "closest_hit",
+    "any_hit",
+    "ray_aabb_intersect",
+    "moller_trumbore",
+    "FRONTIER_COMPACT_FRACTION",
+    "FRONTIER_COMPACT_MIN",
+    "FRONTIER_POP_SCHEDULE",
+]
 
 #: Numerical epsilon used by the intersector to reject grazing hits.
 EPSILON = 1e-9
+
+#: Retired fraction of the frontier that triggers a re-compaction.
+FRONTIER_COMPACT_FRACTION = 0.25
+
+#: Minimum number of retired rays before a re-compaction is worthwhile
+#: (below this the stream-compact overhead outweighs the dead-lane waste).
+FRONTIER_COMPACT_MIN = 256
 
 
 @dataclass
@@ -43,8 +85,9 @@ class HitRecord:
     u, v:
         Barycentric coordinates of the hit point within the triangle.
     nodes_visited:
-        Number of BVH nodes popped per ray -- the observable behind the
-        ``log2(O)`` traversal-depth term of the ray-tracing model.
+        Number of BVH nodes processed per ray (internal pops plus leaves
+        intersected) -- the observable behind the ``log2(O)``
+        traversal-depth term of the ray-tracing model.
     """
 
     triangle: np.ndarray
@@ -76,11 +119,44 @@ def ray_aabb_intersect(
     All inputs are broadcast against each other; returns a boolean mask of
     rays whose parametric interval intersects the box within ``[t_min, t_max]``.
     """
-    t0 = (box_low - origins) * inv_directions
-    t1 = (box_high - origins) * inv_directions
-    near = np.minimum(t0, t1).max(axis=-1)
-    far = np.maximum(t0, t1).min(axis=-1)
-    return (near <= far) & (far >= t_min) & (near <= t_max)
+    origins = np.asarray(origins)
+    inv_directions = np.asarray(inv_directions)
+    box_low = np.asarray(box_low)
+    box_high = np.asarray(box_high)
+    hit, _ = _slab_entry(
+        origins[..., 0], origins[..., 1], origins[..., 2],
+        inv_directions[..., 0], inv_directions[..., 1], inv_directions[..., 2],
+        box_low[..., 0], box_low[..., 1], box_low[..., 2],
+        box_high[..., 0], box_high[..., 1], box_high[..., 2],
+        t_min, t_max,
+    )
+    return hit
+
+
+def _slab_entry(ox, oy, oz, ix, iy, iz, lx, ly, lz, hx, hy, hz, t_min, t_max):
+    """Componentwise slab test returning ``(hit, entry)``.
+
+    ``entry`` is the clamped parametric distance at which the ray enters the
+    box.  Any triangle contained in the box is hit at ``t >= entry``, so the
+    entry distance both orders near-first traversal and soundly culls
+    subtrees beyond the current closest hit.  Operating on flat component
+    arrays avoids axis reductions and strided temporaries in the hot loop.
+    """
+    with np.errstate(over="ignore"):
+        t0 = (lx - ox) * ix
+        t1 = (hx - ox) * ix
+        near = np.minimum(t0, t1)
+        far = np.maximum(t0, t1)
+        t0 = (ly - oy) * iy
+        t1 = (hy - oy) * iy
+        near = np.maximum(near, np.minimum(t0, t1))
+        far = np.minimum(far, np.maximum(t0, t1))
+        t0 = (lz - oz) * iz
+        t1 = (hz - oz) * iz
+        near = np.maximum(near, np.minimum(t0, t1))
+        far = np.minimum(far, np.maximum(t0, t1))
+    hit = (near <= far) & (far >= t_min) & (near <= t_max)
+    return hit, np.maximum(near, t_min)
 
 
 def moller_trumbore(
@@ -98,18 +174,43 @@ def moller_trumbore(
     common leading shape.  Returns ``(hit, t, u, v)`` where ``hit`` is a
     boolean mask and ``t`` is ``inf`` where there is no hit.
     """
-    edge1 = v1 - v0
-    edge2 = v2 - v0
-    pvec = np.cross(directions, edge2)
-    determinant = np.einsum("...i,...i->...", edge1, pvec)
+    origins = np.asarray(origins)
+    directions = np.asarray(directions)
+    v0 = np.asarray(v0)
+    edge1 = np.asarray(v1) - v0
+    edge2 = np.asarray(v2) - v0
+    return _moller_components(
+        origins[..., 0], origins[..., 1], origins[..., 2],
+        directions[..., 0], directions[..., 1], directions[..., 2],
+        v0[..., 0], v0[..., 1], v0[..., 2],
+        edge1[..., 0], edge1[..., 1], edge1[..., 2],
+        edge2[..., 0], edge2[..., 1], edge2[..., 2],
+        t_min, t_max,
+    )
+
+
+def _moller_components(
+    ox, oy, oz, dx, dy, dz,
+    v0x, v0y, v0z, e1x, e1y, e1z, e2x, e2y, e2z,
+    t_min, t_max,
+):
+    """Componentwise Moller-Trumbore kernel shared by the frontier engine and
+    the brute-force reference, so both select hits from identical arithmetic."""
+    pvx = dy * e2z - dz * e2y
+    pvy = dz * e2x - dx * e2z
+    pvz = dx * e2y - dy * e2x
+    determinant = e1x * pvx + e1y * pvy + e1z * pvz
     near_parallel = np.abs(determinant) < EPSILON
-    safe_det = np.where(near_parallel, 1.0, determinant)
-    inv_det = 1.0 / safe_det
-    tvec = origins - v0
-    u = np.einsum("...i,...i->...", tvec, pvec) * inv_det
-    qvec = np.cross(tvec, edge1)
-    v = np.einsum("...i,...i->...", directions, qvec) * inv_det
-    t = np.einsum("...i,...i->...", edge2, qvec) * inv_det
+    inv_det = 1.0 / np.where(near_parallel, 1.0, determinant)
+    tvx = ox - v0x
+    tvy = oy - v0y
+    tvz = oz - v0z
+    u = (tvx * pvx + tvy * pvy + tvz * pvz) * inv_det
+    qvx = tvy * e1z - tvz * e1y
+    qvy = tvz * e1x - tvx * e1z
+    qvz = tvx * e1y - tvy * e1x
+    v = (dx * qvx + dy * qvy + dz * qvz) * inv_det
+    t = (e2x * qvx + e2y * qvy + e2z * qvz) * inv_det
     hit = (
         ~near_parallel
         & (u >= -EPSILON)
@@ -123,10 +224,111 @@ def moller_trumbore(
 
 
 def _safe_inverse(directions: np.ndarray) -> np.ndarray:
-    """Reciprocal directions with zeros replaced by a huge finite value."""
-    small = np.abs(directions) < 1e-300
-    safe = np.where(small, np.copysign(1e-300, np.where(directions == 0.0, 1.0, directions)), directions)
+    """Reciprocal directions with zeros replaced by a huge finite value.
+
+    The replacement magnitude adapts to the dtype so the reciprocal stays
+    finite in ``float32`` throughput mode as well.
+    """
+    tiny = 1e-300 if directions.dtype.itemsize >= 8 else np.float32(1e-30)
+    small = np.abs(directions) < tiny
+    safe = np.where(small, np.copysign(tiny, np.where(directions == 0.0, 1.0, directions)), directions)
     return 1.0 / safe
+
+
+#: Pops per frontier lane per loop iteration, keyed by frontier width: wide
+#: frontiers take one ordered stack op per lane (best culling), narrow
+#: (tail) frontiers drain several stack levels at once so the per-iteration
+#: Python overhead amortizes over the few long-running rays.
+FRONTIER_POP_SCHEDULE = ((16384, 1), (4096, 2), (1024, 4), (0, 8))
+
+
+def _pops_for_width(width: int) -> int:
+    for threshold, pops in FRONTIER_POP_SCHEDULE:
+        if width > threshold:
+            return pops
+    return FRONTIER_POP_SCHEDULE[-1][1]
+
+
+class _Frontier:
+    """Contiguous SoA of all mutable ray state resident in the traversal loop.
+
+    Lane liveness is encoded entirely in ``stack_tops``: a lane with an empty
+    stack is retired (any-hit occlusion simply empties the stack).  ``limit``
+    caches ``min(best_t, limit_t)`` and is tightened in place as hits land.
+    """
+
+    __slots__ = (
+        "ray_ids", "ox", "oy", "oz", "dx", "dy", "dz", "ix", "iy", "iz",
+        "best_t", "limit_t", "limit", "best_triangle", "best_u", "best_v",
+        "visits", "stack_node", "stack_entry", "stack_tops", "base", "max_stack",
+    )
+
+    def __init__(self, origins, directions, limit_t, dtype, max_stack, t_min):
+        n = len(origins)
+        self.ray_ids = np.arange(n, dtype=np.int64)
+        self.ox = np.ascontiguousarray(origins[:, 0], dtype=dtype)
+        self.oy = np.ascontiguousarray(origins[:, 1], dtype=dtype)
+        self.oz = np.ascontiguousarray(origins[:, 2], dtype=dtype)
+        self.dx = np.ascontiguousarray(directions[:, 0], dtype=dtype)
+        self.dy = np.ascontiguousarray(directions[:, 1], dtype=dtype)
+        self.dz = np.ascontiguousarray(directions[:, 2], dtype=dtype)
+        self.ix = _safe_inverse(self.dx)
+        self.iy = _safe_inverse(self.dy)
+        self.iz = _safe_inverse(self.dz)
+        self.best_t = np.full(n, np.inf, dtype=dtype)
+        self.limit_t = limit_t
+        self.limit = limit_t.copy()
+        self.best_triangle = np.full(n, -1, dtype=np.int64)
+        self.best_u = np.zeros(n, dtype=dtype)
+        self.best_v = np.zeros(n, dtype=dtype)
+        self.visits = np.zeros(n, dtype=np.int64)
+        self.stack_node = np.full((n, max_stack), -1, dtype=np.int32)
+        self.stack_entry = np.zeros((n, max_stack), dtype=dtype)
+        self.stack_node[:, 0] = 0
+        self.stack_entry[:, 0] = t_min
+        self.stack_tops = np.ones(n, dtype=np.int32)
+        self.max_stack = max_stack
+        self.base = self.ray_ids * max_stack  # flat stack addressing
+
+    def __len__(self) -> int:
+        return len(self.ray_ids)
+
+    def grow_stack(self, new_max: int) -> tuple[np.ndarray, np.ndarray]:
+        """Widen every lane's stack to ``new_max`` entries (contents kept).
+
+        The single-pop DFS bound (depth + 1) does not hold for the multi-pop
+        tail window on densely overlapping geometry, so the stacks grow on
+        demand instead of overflowing.  Returns fresh flat views.
+        """
+        n = len(self.ray_ids)
+        old = self.stack_node.shape[1]
+        node = np.full((n, new_max), -1, dtype=np.int32)
+        entry = np.zeros((n, new_max), dtype=self.stack_entry.dtype)
+        node[:, :old] = self.stack_node
+        entry[:, :old] = self.stack_entry
+        self.stack_node = node
+        self.stack_entry = entry
+        self.max_stack = new_max
+        self.base = np.arange(n, dtype=np.int64) * new_max
+        return node.reshape(-1), entry.reshape(-1)
+
+    def mutable_arrays(self):
+        return (
+            self.ray_ids, self.ox, self.oy, self.oz, self.dx, self.dy, self.dz,
+            self.ix, self.iy, self.iz, self.best_t, self.limit_t, self.limit,
+            self.best_triangle, self.best_u, self.best_v, self.visits,
+            self.stack_node, self.stack_entry, self.stack_tops,
+        )
+
+    def replace(self, arrays):
+        (
+            self.ray_ids, self.ox, self.oy, self.oz, self.dx, self.dy, self.dz,
+            self.ix, self.iy, self.iz, self.best_t, self.limit_t, self.limit,
+            self.best_triangle, self.best_u, self.best_v, self.visits,
+            self.stack_node, self.stack_entry, self.stack_tops,
+        ) = arrays
+        self.max_stack = self.stack_node.shape[1] if self.stack_node.ndim == 2 else 1
+        self.base = np.arange(len(self.ray_ids), dtype=np.int64) * self.max_stack
 
 
 def _traverse(
@@ -137,99 +339,287 @@ def _traverse(
     t_min: float,
     t_max: float | np.ndarray,
     any_hit_mode: bool,
+    dtype: np.dtype | type = np.float64,
 ) -> HitRecord:
-    """Shared SIMT-style traversal kernel for closest-hit and any-hit queries."""
-    origins = np.asarray(origins, dtype=np.float64)
-    directions = np.asarray(directions, dtype=np.float64)
+    """Shared compacted-frontier traversal kernel for closest/any-hit queries."""
+    dtype = np.dtype(dtype)
+    origins = np.asarray(origins)
+    directions = np.asarray(directions)
     n_rays = len(origins)
-    corners = mesh.corners()
-    tri_v0 = corners[:, 0]
-    tri_v1 = corners[:, 1]
-    tri_v2 = corners[:, 2]
 
-    best_t = np.full(n_rays, np.inf)
-    limit_t = np.broadcast_to(np.asarray(t_max, dtype=np.float64), (n_rays,)).copy()
-    best_triangle = np.full(n_rays, -1, dtype=np.int64)
-    best_u = np.zeros(n_rays)
-    best_v = np.zeros(n_rays)
-    nodes_visited = np.zeros(n_rays, dtype=np.int64)
+    # Full-width result arrays; the frontier scatters into these as rays retire.
+    out_triangle = np.full(n_rays, -1, dtype=np.int64)
+    out_t = np.full(n_rays, np.inf)
+    out_u = np.zeros(n_rays)
+    out_v = np.zeros(n_rays)
+    out_visits = np.zeros(n_rays, dtype=np.int64)
+    if n_rays == 0 or bvh.num_nodes == 0:
+        return HitRecord(out_triangle, out_t, out_u, out_v, out_visits)
 
-    inv_directions = _safe_inverse(directions)
-    max_stack = max(bvh.max_depth() + 2, 4)
-    stacks = np.full((n_rays, max_stack), -1, dtype=np.int64)
-    stacks[:, 0] = 0  # root
-    stack_tops = np.ones(n_rays, dtype=np.int64)
+    tri = bvh.triangle_soa(mesh, dtype)
+    boxes = bvh.node_boxes(dtype)
+    left_child = bvh.left_child
+    right_child = bvh.right_child
+    first_primitive = bvh.first_primitive
+    primitive_count = bvh.primitive_count
+    primitive_order = bvh.primitive_order
+    t_min = float(t_min)
+    limit_t = np.broadcast_to(np.asarray(t_max, dtype=dtype), (n_rays,)).copy()
 
-    active = np.arange(n_rays, dtype=np.int64)
-    leaf_size = int(bvh.primitive_count.max()) if bvh.num_nodes else 0
+    # Initial stack size: single-pop ordered DFS holds at most depth + 1
+    # entries (a pop at depth d has at most d entries below it and pushes at
+    # most 2), plus slack for the multi-pop tail window.  The window expands
+    # several subtrees BFS-style, so no depth-based bound holds for it in
+    # general (densely overlapping geometry); the loop therefore checks
+    # capacity before every push round and grows the stacks on demand, with
+    # an assertion backing the final bound.
+    max_pops = max(pops for _, pops in FRONTIER_POP_SCHEDULE)
+    initial_stack = max(bvh.max_depth() + 1 + 2 * (max_pops - 1), 2)
+    frontier = _Frontier(origins, directions, limit_t, dtype, initial_stack, t_min)
 
-    while len(active):
-        # Pop one node per active ray.
-        stack_tops[active] -= 1
-        nodes = stacks[active, stack_tops[active]]
-        nodes_visited[active] += 1
-
-        # Current closest-hit bound per ray (shrinks as hits are found).
-        current_limit = np.minimum(best_t[active], limit_t[active])
-        box_hit = ray_aabb_intersect(
-            origins[active],
-            inv_directions[active],
-            bvh.node_low[nodes],
-            bvh.node_high[nodes],
-            np.full(len(active), t_min),
-            current_limit,
+    def flush_and_compact():
+        """Scatter retiring rays' results back, then compact the survivors."""
+        resident = frontier.stack_tops > 0
+        _, (done_ids, done_tri, done_t, done_u, done_v, done_visits) = stream_compact(
+            ~resident, frontier.ray_ids, frontier.best_triangle, frontier.best_t,
+            frontier.best_u, frontier.best_v, frontier.visits,
         )
+        scatter(done_tri, done_ids, out_triangle)
+        scatter(done_t.astype(np.float64, copy=False), done_ids, out_t)
+        scatter(done_u.astype(np.float64, copy=False), done_ids, out_u)
+        scatter(done_v.astype(np.float64, copy=False), done_ids, out_v)
+        scatter(done_visits, done_ids, out_visits)
+        _, compacted = stream_compact(resident, *frontier.mutable_arrays())
+        frontier.replace(compacted)
 
-        is_leaf = bvh.primitive_count[nodes] > 0
-        descend = box_hit & ~is_leaf
-        intersect_leaf = box_hit & is_leaf
+    def intersect_leaves(slots, leaf_nodes):
+        """Batched (ray, triangle) pair expansion + intersection for one batch
+        of leaf candidates.
 
-        # Internal nodes: push both children.
-        if np.any(descend):
-            rays = active[descend]
-            children_left = bvh.left_child[nodes[descend]]
-            children_right = bvh.right_child[nodes[descend]]
-            tops = stack_tops[rays]
-            stacks[rays, tops] = children_left
-            stacks[rays, tops + 1] = children_right
-            stack_tops[rays] = tops + 2
-
-        # Leaves: test every primitive slot of the leaf against its rays.
-        if np.any(intersect_leaf):
-            rays = active[intersect_leaf]
-            leaf_nodes = nodes[intersect_leaf]
-            first = bvh.first_primitive[leaf_nodes]
-            count = bvh.primitive_count[leaf_nodes]
-            for slot in range(leaf_size):
-                slot_mask = slot < count
-                if not np.any(slot_mask):
-                    break
-                slot_rays = rays[slot_mask]
-                prims = bvh.primitive_order[first[slot_mask] + slot]
-                hit, t, u, v = moller_trumbore(
-                    origins[slot_rays],
-                    directions[slot_rays],
-                    tri_v0[prims],
-                    tri_v1[prims],
-                    tri_v2[prims],
-                    t_min,
-                    np.minimum(best_t[slot_rays], limit_t[slot_rays]),
-                )
-                improved = hit & (t < best_t[slot_rays])
-                if np.any(improved):
-                    winners = slot_rays[improved]
-                    best_t[winners] = t[improved]
-                    best_triangle[winners] = prims[improved]
-                    best_u[winners] = u[improved]
-                    best_v[winners] = v[improved]
-
-        # Retire rays with empty stacks, and (any-hit mode) rays already occluded.
-        finished = stack_tops[active] <= 0
+        ``slots`` is sorted and may repeat (one frontier slot can discover
+        several leaves in one iteration); per-candidate winners are folded to
+        one winner per slot by a second segmented argmin, so the best-hit
+        update is race-free.  Ties on t go to the smaller triangle id,
+        matching the brute-force reference's serial first-minimum sweep.
+        """
+        counts = primitive_count.take(leaf_nodes)
+        n_candidates = len(slots)
+        starts = np.zeros(n_candidates, dtype=np.int64)
+        np.cumsum(counts[:-1], out=starts[1:])
+        total = int(starts[-1] + counts[-1])
+        candidate_of_pair = np.repeat(np.arange(n_candidates, dtype=np.int64), counts)
+        local = np.arange(total, dtype=np.int64) - starts.take(candidate_of_pair)
+        prims = primitive_order.take(first_primitive.take(leaf_nodes).take(candidate_of_pair) + local)
+        pair_slots = slots.take(candidate_of_pair)
+        _, t, u, v = _moller_components(
+            frontier.ox.take(pair_slots), frontier.oy.take(pair_slots),
+            frontier.oz.take(pair_slots),
+            frontier.dx.take(pair_slots), frontier.dy.take(pair_slots),
+            frontier.dz.take(pair_slots),
+            tri[0].take(prims), tri[1].take(prims), tri[2].take(prims),
+            tri[3].take(prims), tri[4].take(prims), tri[5].take(prims),
+            tri[6].take(prims), tri[7].take(prims), tri[8].take(prims),
+            t_min, frontier.limit.take(pair_slots),
+        )
+        # One segmented argmin straight from pairs to slots: pairs are
+        # slot-major, so slot segments are contiguous unions of candidates.
+        first_of_slot = np.empty(n_candidates, dtype=bool)
+        first_of_slot[0] = True
+        np.not_equal(slots[1:], slots[:-1], out=first_of_slot[1:])
+        slot_starts = np.flatnonzero(first_of_slot)
+        unique_slots = slots.take(slot_starts)
+        winner = segmented_argmin(t, starts.take(slot_starts), prims)
+        winner_t = t.take(winner)
+        winner_prims = prims.take(winner)
+        winner_u = u.take(winner)
+        winner_v = v.take(winner)
+        frontier.visits[unique_slots] += np.diff(np.append(slot_starts, n_candidates))
+        best = frontier.best_t.take(unique_slots)
+        improved = winner_t < best
+        improved |= (
+            (winner_t == best)
+            & np.isfinite(winner_t)
+            & (winner_prims < frontier.best_triangle.take(unique_slots))
+        )
+        winners = unique_slots[improved]
+        improved_t = winner_t[improved]
+        frontier.best_t[winners] = improved_t
+        frontier.best_triangle[winners] = winner_prims[improved]
+        frontier.best_u[winners] = winner_u[improved]
+        frontier.best_v[winners] = winner_v[improved]
+        frontier.limit[winners] = np.minimum(improved_t, frontier.limit_t.take(winners))
         if any_hit_mode:
-            finished |= best_triangle[active] >= 0
-        active = active[~finished]
+            # Occluded rays retire immediately: an empty stack is retirement.
+            frontier.stack_tops[winners] = 0
 
-    return HitRecord(best_triangle, best_t, best_u, best_v, nodes_visited)
+    # Degenerate single-leaf hierarchy: intersect the root directly.
+    if primitive_count[0] > 0:
+        intersect_leaves(
+            np.arange(len(frontier), dtype=np.int64),
+            np.zeros(len(frontier), dtype=np.int64),
+        )
+        frontier.stack_tops[:] = 0
+        flush_and_compact()
+
+    while len(frontier):
+        n_resident = len(frontier)
+        pops = _pops_for_width(n_resident)
+        flat_node = frontier.stack_node.reshape(-1)
+        flat_entry = frontier.stack_entry.reshape(-1)
+        tops = frontier.stack_tops
+
+        # Pop the top `pops` stack entries of every lane at once.  Lane-major
+        # raveling keeps virtual pops of one lane adjacent, ordered top
+        # (DFS-next) first; exhausted levels mask off via `read < 0` (their
+        # wrapped flat reads stay in bounds because read >= -max_stack).
+        if pops == 1:
+            read = tops - np.int32(1)
+            addr = frontier.base + read
+            nodes = flat_node.take(addr)
+            entries = flat_entry.take(addr)
+            consider = (read >= 0) & (entries <= frontier.limit)
+            frontier.stack_tops = np.maximum(read, 0)
+            group = np.flatnonzero(consider)
+            slots = group
+            if len(group) == n_resident:
+                group_nodes = nodes
+                frontier.visits += 1
+            else:
+                group_nodes = nodes.take(group)
+                frontier.visits[slots] += 1
+        else:
+            read = tops[:, None] - np.arange(1, pops + 1, dtype=np.int32)[None, :]
+            addr = frontier.base[:, None] + read
+            nodes = flat_node.take(addr)
+            entries = flat_entry.take(addr)
+            consider = (read >= 0) & (entries <= frontier.limit[:, None])
+            frontier.stack_tops = np.maximum(tops - np.int32(pops), 0)
+            group = np.flatnonzero(consider.ravel())
+            slots = group // pops
+            group_nodes = nodes.ravel().take(group)
+            frontier.visits += consider.sum(axis=1)
+
+        size = len(group)
+        if size:
+            # Lanes whose single pop all survived the cull need no gathers at
+            # all -- the frontier arrays are already the group (identity).
+            identity = pops == 1 and size == n_resident
+            children = np.concatenate([left_child.take(group_nodes), right_child.take(group_nodes)])
+            if identity:
+                gox, goy, goz = frontier.ox, frontier.oy, frontier.oz
+                gix, giy, giz = frontier.ix, frontier.iy, frontier.iz
+                glimit = frontier.limit
+            else:
+                gox = frontier.ox.take(slots)
+                goy = frontier.oy.take(slots)
+                goz = frontier.oz.take(slots)
+                gix = frontier.ix.take(slots)
+                giy = frontier.iy.take(slots)
+                giz = frontier.iz.take(slots)
+                glimit = frontier.limit.take(slots)
+            # Ray state is gathered once and used for both child slab tests.
+            hit_left, t_left = _slab_entry(
+                gox, goy, goz, gix, giy, giz,
+                boxes[0].take(children[:size]), boxes[1].take(children[:size]),
+                boxes[2].take(children[:size]),
+                boxes[3].take(children[:size]), boxes[4].take(children[:size]),
+                boxes[5].take(children[:size]),
+                t_min, glimit,
+            )
+            hit_right, t_right = _slab_entry(
+                gox, goy, goz, gix, giy, giz,
+                boxes[0].take(children[size:]), boxes[1].take(children[size:]),
+                boxes[2].take(children[size:]),
+                boxes[3].take(children[size:]), boxes[4].take(children[size:]),
+                boxes[5].take(children[size:]),
+                t_min, glimit,
+            )
+            child_is_leaf = primitive_count.take(children) > 0
+            left, right = children[:size], children[size:]
+            left_is_leaf, right_is_leaf = child_is_leaf[:size], child_is_leaf[size:]
+
+            # Internal children are pushed (far below near so the near child
+            # pops next); leaf children are intersected immediately below.
+            push_left = hit_left & ~left_is_leaf
+            push_right = hit_right & ~right_is_leaf
+            both = push_left & push_right
+            pushes = np.add(push_left, push_right, dtype=np.int64)
+            left_is_far = t_left > t_right
+            first_is_left = push_left & (~both | left_is_far)
+            first_node = np.where(first_is_left, left, right)
+            first_entry = np.where(first_is_left, t_left, t_right)
+
+            # Stack write positions: with one pop per lane, slots are unique
+            # and pushes land directly at the (post-pop) stack top.  With the
+            # multi-pop tail window, virtual pops of one lane are adjacent in
+            # `group` with the DFS-next (top) pop first, so each pop's pushes
+            # land above the pushes of all deeper pops of the same lane.
+            if pops == 1:
+                seg_slots = slots
+                seg_pushes = pushes
+                position = frontier.stack_tops if identity else frontier.stack_tops.take(slots)
+            else:
+                first_of_slot = np.empty(size, dtype=bool)
+                first_of_slot[0] = True
+                np.not_equal(slots[1:], slots[:-1], out=first_of_slot[1:])
+                seg_starts = np.flatnonzero(first_of_slot)
+                cumulative = np.cumsum(pushes)
+                segment_of = np.cumsum(first_of_slot) - 1
+                seg_last = np.append(seg_starts[1:], size) - 1
+                pushed_below = cumulative.take(seg_last).take(segment_of) - cumulative
+                seg_slots = slots.take(seg_starts)
+                seg_pushes = np.add.reduceat(pushes, seg_starts)
+                position = frontier.stack_tops.take(slots) + pushed_below
+
+            new_seg_tops = frontier.stack_tops.take(seg_slots) + seg_pushes
+            required = int(new_seg_tops.max(initial=0))
+            if required > frontier.max_stack:
+                # The multi-pop window expands several subtrees at once, so
+                # depth-based sizing can be exceeded on densely overlapping
+                # geometry; widen every lane's stack before writing.
+                flat_node, flat_entry = frontier.grow_stack(required + 2 * max_pops)
+            assert required <= frontier.max_stack, "traversal stack overflow"
+            first_sel = np.flatnonzero(pushes)
+            write = slots.take(first_sel) * frontier.max_stack + position.take(first_sel)
+            flat_node[write] = first_node.take(first_sel)
+            flat_entry[write] = first_entry.take(first_sel)
+            second_sel = np.flatnonzero(both)
+            if len(second_sel):
+                near_node = np.where(left_is_far, right, left)
+                near_entry = np.where(left_is_far, t_right, t_left)
+                write = slots.take(second_sel) * frontier.max_stack + position.take(second_sel) + 1
+                flat_node[write] = near_node.take(second_sel)
+                flat_entry[write] = near_entry.take(second_sel)
+            frontier.stack_tops[seg_slots] = new_seg_tops
+
+            # Leaf children: one merged slot-ordered batch per iteration.
+            candidate_mask = np.empty(2 * size, dtype=bool)
+            candidate_mask[0::2] = hit_left & left_is_leaf
+            candidate_mask[1::2] = hit_right & right_is_leaf
+            candidate_sel = np.flatnonzero(candidate_mask)
+            if len(candidate_sel):
+                child_pair = np.empty(2 * size, dtype=children.dtype)
+                child_pair[0::2] = left
+                child_pair[1::2] = right
+                intersect_leaves(
+                    np.repeat(slots, 2).take(candidate_sel),
+                    child_pair.take(candidate_sel),
+                )
+
+        # Periodic re-compaction keeps the loop dense without paying the
+        # stream-compact overhead on every retirement (an empty stack is
+        # retirement, including any-hit occlusion).
+        dead_count = int(np.count_nonzero(frontier.stack_tops == 0))
+        if dead_count and (
+            dead_count == n_resident
+            or (
+                dead_count >= FRONTIER_COMPACT_MIN
+                and dead_count >= FRONTIER_COMPACT_FRACTION * n_resident
+            )
+        ):
+            flush_and_compact()
+
+    return HitRecord(out_triangle, out_t, out_u, out_v, out_visits)
 
 
 def closest_hit(
@@ -239,9 +629,10 @@ def closest_hit(
     directions: np.ndarray,
     t_min: float = EPSILON,
     t_max: float | np.ndarray = np.inf,
+    dtype: np.dtype | type = np.float64,
 ) -> HitRecord:
     """Nearest intersection of each ray with the mesh."""
-    return _traverse(bvh, mesh, origins, directions, t_min, t_max, any_hit_mode=False)
+    return _traverse(bvh, mesh, origins, directions, t_min, t_max, any_hit_mode=False, dtype=dtype)
 
 
 def any_hit(
@@ -251,9 +642,14 @@ def any_hit(
     directions: np.ndarray,
     t_min: float = EPSILON,
     t_max: float | np.ndarray = np.inf,
+    dtype: np.dtype | type = np.float64,
 ) -> np.ndarray:
-    """Boolean occlusion test: does each ray hit anything within ``[t_min, t_max]``?"""
-    record = _traverse(bvh, mesh, origins, directions, t_min, t_max, any_hit_mode=True)
+    """Boolean occlusion test: does each ray hit anything within ``[t_min, t_max]``?
+
+    ``t_max`` may be a scalar or a per-ray array (shadow rays bound each ray
+    by its own light distance).
+    """
+    record = _traverse(bvh, mesh, origins, directions, t_min, t_max, any_hit_mode=True, dtype=dtype)
     return record.hit_mask
 
 
@@ -262,9 +658,12 @@ def brute_force_closest_hit(
     origins: np.ndarray,
     directions: np.ndarray,
     t_min: float = EPSILON,
-    t_max: float = np.inf,
+    t_max: float | np.ndarray = np.inf,
 ) -> HitRecord:
-    """Reference O(rays x triangles) intersector used for differential testing."""
+    """Reference O(rays x triangles) intersector used for differential testing.
+
+    ``t_max`` may be a scalar or a per-ray array, mirroring :func:`any_hit`.
+    """
     origins = np.asarray(origins, dtype=np.float64)
     directions = np.asarray(directions, dtype=np.float64)
     n_rays = len(origins)

@@ -24,6 +24,7 @@ __all__ = [
     "morton_decode_2d",
     "morton_encode_3d",
     "morton_decode_3d",
+    "morton_codes_points",
     "morton_order_points",
 ]
 
@@ -120,8 +121,8 @@ def morton_decode_3d(code: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarr
     )
 
 
-def morton_order_points(points: np.ndarray, bits: int = MAX_BITS_3D) -> np.ndarray:
-    """Return the permutation that sorts 3D ``points`` along a Morton curve.
+def morton_codes_points(points: np.ndarray, bits: int = MAX_BITS_3D) -> np.ndarray:
+    """30-bit Morton codes of 3D ``points`` quantized over their bounding box.
 
     The point cloud is quantized onto a ``2**bits`` per-axis lattice spanning
     its axis-aligned bounding box; degenerate extents (all points sharing a
@@ -137,8 +138,7 @@ def morton_order_points(points: np.ndarray, bits: int = MAX_BITS_3D) -> np.ndarr
     Returns
     -------
     numpy.ndarray
-        Integer permutation ``order`` such that ``points[order]`` is sorted by
-        Morton code (stable with respect to ties).
+        ``uint32`` Morton codes, one per point.
     """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2 or points.shape[1] != 3:
@@ -146,7 +146,7 @@ def morton_order_points(points: np.ndarray, bits: int = MAX_BITS_3D) -> np.ndarr
     if not 1 <= bits <= MAX_BITS_3D:
         raise ValueError(f"bits must be in [1, {MAX_BITS_3D}]")
     if points.shape[0] == 0:
-        return np.empty(0, dtype=np.int64)
+        return np.empty(0, dtype=np.uint32)
 
     lo = points.min(axis=0)
     hi = points.max(axis=0)
@@ -154,5 +154,14 @@ def morton_order_points(points: np.ndarray, bits: int = MAX_BITS_3D) -> np.ndarr
     extent[extent == 0.0] = 1.0
     scale = (2**bits - 1) / extent
     quantized = ((points - lo) * scale).astype(np.uint32)
-    codes = morton_encode_3d(quantized[:, 0], quantized[:, 1], quantized[:, 2])
+    return morton_encode_3d(quantized[:, 0], quantized[:, 1], quantized[:, 2])
+
+
+def morton_order_points(points: np.ndarray, bits: int = MAX_BITS_3D) -> np.ndarray:
+    """Return the permutation that sorts 3D ``points`` along a Morton curve.
+
+    See :func:`morton_codes_points` for the quantization; the permutation is
+    stable with respect to ties.
+    """
+    codes = morton_codes_points(points, bits)
     return np.argsort(codes, kind="stable")

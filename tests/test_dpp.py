@@ -19,6 +19,7 @@ from repro.dpp import (
     reduce_field,
     reverse_index,
     scatter,
+    segmented_argmin,
     stream_compact,
     use_device,
 )
@@ -154,6 +155,50 @@ class TestPrimitives:
         assert len(ca) == len(cb) == count
         assert np.allclose(ca, a[flags])
         assert np.allclose(cb, b[flags])
+
+    def test_segmented_argmin_basic(self):
+        values = np.array([3.0, 1.0, 2.0, 5.0, 4.0])
+        starts = np.array([0, 3])
+        out = segmented_argmin(values, starts, np.arange(5))
+        assert out.tolist() == [1, 4]
+
+    def test_segmented_argmin_tiebreak(self):
+        # Equal values resolve to the smallest tiebreak id, then position.
+        values = np.array([2.0, 2.0, 2.0, 1.0, 1.0])
+        tiebreak = np.array([7, 3, 5, 9, 9])
+        out = segmented_argmin(values, np.array([0, 3]), tiebreak)
+        assert out.tolist() == [1, 3]
+
+    def test_segmented_argmin_all_inf_segment(self):
+        values = np.array([np.inf, np.inf, 1.0])
+        out = segmented_argmin(values, np.array([0, 2]), np.array([4, 2, 0]))
+        assert out.tolist() == [1, 2]
+
+    def test_segmented_argmin_devices_agree(self, rng):
+        values = rng.random(64)
+        values[rng.integers(0, 64, 10)] = values[0]  # inject ties
+        tiebreak = rng.integers(0, 20, 64)
+        bounds = np.unique(rng.integers(1, 64, 6))
+        starts = np.concatenate([[0], bounds])
+        vec = segmented_argmin(values, starts, tiebreak, device="vectorized")
+        ser = segmented_argmin(values, starts, tiebreak, device="serial")
+        assert np.array_equal(vec, ser)
+
+    def test_segmented_argmin_validation(self):
+        values = np.arange(4.0)
+        with pytest.raises(ValueError):
+            segmented_argmin(values, np.array([1, 2]), np.arange(4))  # not 0-based
+        with pytest.raises(ValueError):
+            segmented_argmin(values, np.array([0, 2, 2]), np.arange(4))  # empty segment
+        with pytest.raises(ValueError):
+            segmented_argmin(values, np.array([0, 4]), np.arange(4))  # past the end
+        with pytest.raises(ValueError):
+            segmented_argmin(values, np.array([0]), np.arange(3))  # length mismatch
+        with pytest.raises(ValueError):
+            # NaN has no consistent minimum across devices; masked "no
+            # candidate" values must use +inf instead.
+            segmented_argmin(np.array([np.nan, 2.0, 1.0]), np.array([0]), np.arange(3))
+        assert len(segmented_argmin(np.empty(0), np.empty(0, dtype=np.int64), np.empty(0))) == 0
 
     def test_instrumentation_records_calls(self):
         instrumentation = get_instrumentation()
