@@ -1,14 +1,21 @@
-"""Emit the repo's ray-tracing perf trajectory record (``BENCH_raytracer.json``).
+"""Emit the repo's rendering perf trajectory record (``BENCH_render.json``).
 
 Usage (from the repository root):
 
     PYTHONPATH=src python -m benchmarks.emit_bench [output.json]
 
-Runs the traversal-throughput benchmark (WORKLOAD1-3 at 96^2 and 192^2 over
-the rm-family scene subset), verifies the engine differentially against the
-brute-force intersector on every pool scene, and writes a JSON record holding
-the seed-engine baseline, the current engine's Mrays/s, and the speedups --
-so each PR's perf delta on the ray-tracing hot path is tracked in-repo.
+Covers both hot paths of the frontier kernel engine:
+
+* **raytracer** -- the traversal-throughput benchmark (WORKLOAD1-3 at 96^2
+  and 192^2 over the rm-family scene subset), verified differentially
+  against the brute-force intersector, with the recorded seed-engine
+  baseline and speedups.
+* **volume** -- the structured and unstructured volume casters at 96^2 and
+  192^2 over the Table 6 scene pool, verified against (and timed against)
+  the pre-refactor monolithic loops each renderer keeps in-tree as
+  ``render_reference``.
+
+The record supersedes the ray-tracing-only ``BENCH_raytracer.json`` of PR 1.
 """
 
 from __future__ import annotations
@@ -24,45 +31,77 @@ if str(_BENCH_DIR) not in sys.path:  # allow `python -m benchmarks.emit_bench`
 
 import numpy as np
 
-from bench_traversal_throughput import (
-    SEED_BASELINE_MRAYS,
-    measure_all,
-    verify_pool_differential,
-)
+import bench_traversal_throughput as raytracer_bench
+import bench_volume_throughput as volume_bench
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    output = Path(argv[0]) if argv else _BENCH_DIR.parent / "BENCH_raytracer.json"
+    output = Path(argv[0]) if argv else _BENCH_DIR.parent / "BENCH_render.json"
     if not output.parent.is_dir():
         print(f"error: output directory {output.parent} does not exist", file=sys.stderr)
         return 2
 
-    print("verifying engine against brute force on every pool scene ...")
-    verify_pool_differential()
-    print("measuring throughput ...")
-    results = measure_all()
+    print("verifying traversal engine against brute force on every pool scene ...")
+    raytracer_bench.verify_pool_differential()
+    print("verifying volume engines against the pre-refactor reference loops ...")
+    volume_bench.verify_volume_differential()
+    print("measuring ray-tracing throughput ...")
+    raytracer_results = raytracer_bench.measure_all()
+    print("measuring volume throughput ...")
+    volume_results = volume_bench.measure_all()
 
     record = {
-        "benchmark": "traversal_throughput",
+        "benchmark": "render_throughput",
         "units": "Mrays/s",
-        "scenes": "surface_scene_pool()[0:3] (rm family)",
         "python": platform.python_version(),
         "numpy": np.__version__,
-        "seed_baseline": SEED_BASELINE_MRAYS,
-        "current": {key: round(value["mrays_per_s"], 4) for key, value in results.items()},
-        "speedup_vs_seed": {
-            key: round(value["mrays_per_s"] / SEED_BASELINE_MRAYS[key], 2)
-            for key, value in results.items()
+        "raytracer": {
+            "scenes": "surface_scene_pool()[0:3] (rm family)",
+            "seed_baseline": raytracer_bench.SEED_BASELINE_MRAYS,
+            "current": {
+                key: round(value["mrays_per_s"], 4)
+                for key, value in raytracer_results.items()
+            },
+            "speedup_vs_seed": {
+                key: round(value["mrays_per_s"] / raytracer_bench.SEED_BASELINE_MRAYS[key], 2)
+                for key, value in raytracer_results.items()
+            },
+            "detail": {
+                key: {"rays": value["rays"], "seconds": round(value["seconds"], 4)}
+                for key, value in raytracer_results.items()
+            },
         },
-        "detail": {
-            key: {"rays": value["rays"], "seconds": round(value["seconds"], 4)}
-            for key, value in results.items()
+        "volume": {
+            "scenes": "volume_dataset_pool() (Table 6 pool)",
+            "seed_baseline": {
+                key: round(value["seed_mrays_per_s"], 4)
+                for key, value in volume_results.items()
+            },
+            "current": {
+                key: round(value["mrays_per_s"], 4)
+                for key, value in volume_results.items()
+            },
+            "speedup_vs_seed": {
+                key: round(value["speedup_vs_seed"], 2)
+                for key, value in volume_results.items()
+            },
+            "detail": {
+                key: {
+                    "rays": value["rays"],
+                    "seconds": round(value["seconds"], 4),
+                    "seed_seconds": round(value["seed_seconds"], 4),
+                }
+                for key, value in volume_results.items()
+            },
         },
     }
     output.write_text(json.dumps(record, indent=2) + "\n")
-    for key, value in record["current"].items():
-        print(f"  {key:24s} {value:8.4f} Mrays/s  ({record['speedup_vs_seed'][key]}x seed)")
+    for section in ("raytracer", "volume"):
+        print(f"[{section}]")
+        for key, value in record[section]["current"].items():
+            speedup = record[section]["speedup_vs_seed"][key]
+            print(f"  {key:24s} {value:8.4f} Mrays/s  ({speedup}x seed)")
     print(f"wrote {output}")
     return 0
 

@@ -18,9 +18,13 @@ This package reproduces that layer in Python:
   standing in for PAPI / nvprof hardware counters.
 * :mod:`repro.dpp.arrays` -- a struct-of-arrays container following the
   memory-layout best practice noted in Chapter III.
+* :mod:`repro.dpp.frontier` -- the compacted-frontier kernel engine shared by
+  the BVH traversal loop and both volume ray casters: contiguous SoA lane
+  state, device-routed flush/compaction, and per-lane retirement.
 """
 
 from repro.dpp.arrays import SOAArray
+from repro.dpp.frontier import FrontierEngine, FrontierKernel, FrontierLanes
 from repro.dpp.device import (
     Device,
     DeviceRegistry,
@@ -47,6 +51,9 @@ from repro.dpp.primitives import (
 __all__ = [
     "Device",
     "DeviceRegistry",
+    "FrontierEngine",
+    "FrontierKernel",
+    "FrontierLanes",
     "InstrumentationScope",
     "OpCounters",
     "SOAArray",

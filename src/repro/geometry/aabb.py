@@ -1,9 +1,16 @@
-"""Axis-aligned bounding boxes (AABBs).
+"""Axis-aligned bounding boxes (AABBs) and the shared ray/box slab test.
 
 AABBs appear throughout the rendering stack: every BVH node stores one, the
 rasterizer bounds each triangle's pixel footprint with one, and the
 unstructured volume renderer bounds each tetrahedron's sample footprint with
 one (Chapter III, "Sampling" phase).
+
+This module also owns the *one* ray-box interval implementation
+(:func:`ray_box_intervals` on top of :func:`safe_reciprocal`) used by every
+image-order renderer -- BVH traversal, the structured volume ray caster, and
+the connectivity ray-caster baseline previously each carried a private copy,
+and the volume copies mapped tiny *negative* direction components to a
+*positive* huge reciprocal, corrupting entry/exit intervals for grazing rays.
 """
 
 from __future__ import annotations
@@ -12,7 +19,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["AABB", "aabb_union", "triangle_aabbs", "points_aabb"]
+__all__ = [
+    "AABB",
+    "aabb_union",
+    "triangle_aabbs",
+    "points_aabb",
+    "safe_reciprocal",
+    "ray_box_intervals",
+]
 
 
 @dataclass(frozen=True)
@@ -84,6 +98,52 @@ def points_aabb(points: np.ndarray) -> AABB:
     if points.ndim != 2 or points.shape[1] != 3 or points.shape[0] == 0:
         raise ValueError("points must be a non-empty (n, 3) array")
     return AABB(points.min(axis=0), points.max(axis=0))
+
+
+def safe_reciprocal(directions: np.ndarray) -> np.ndarray:
+    """Sign-preserving reciprocal with zeros replaced by a huge finite value.
+
+    Tiny components keep their sign (``-1e-301`` maps to a huge *negative*
+    reciprocal), so slab tests order their entry/exit planes correctly for
+    grazing rays; exact zeros (including ``-0.0``) map to the positive huge
+    value, which the min/max folds of the slab test treat correctly because
+    the corresponding plane distances become ``+/-inf`` of matching sign.
+    The replacement magnitude adapts to the dtype so the reciprocal stays
+    finite in ``float32`` throughput mode as well.
+    """
+    directions = np.asarray(directions)
+    tiny = 1e-300 if directions.dtype.itemsize >= 8 else np.float32(1e-30)
+    small = np.abs(directions) < tiny
+    safe = np.where(
+        small,
+        np.copysign(tiny, np.where(directions == 0.0, 1.0, directions)),
+        directions,
+    )
+    return 1.0 / safe
+
+
+def ray_box_intervals(
+    origins: np.ndarray,
+    directions: np.ndarray,
+    low: np.ndarray,
+    high: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Unclamped slab-test entry/exit parameters of rays against one box.
+
+    ``origins``/``directions`` are ``(n, 3)``; ``low``/``high`` are the box
+    corners (3-vectors or broadcastable against the rays).  Returns
+    ``(t_near, t_far)``; a ray's parametric interval overlaps the box iff
+    ``t_near <= t_far`` (callers clamp ``t_near`` at 0 for rays starting
+    inside and require ``t_far > t_near`` for a non-degenerate span).
+    """
+    origins = np.asarray(origins, dtype=np.float64)
+    inv = safe_reciprocal(np.asarray(directions, dtype=np.float64))
+    with np.errstate(over="ignore", invalid="ignore"):
+        t0 = (np.asarray(low) - origins) * inv
+        t1 = (np.asarray(high) - origins) * inv
+        t_near = np.minimum(t0, t1).max(axis=-1)
+        t_far = np.maximum(t0, t1).min(axis=-1)
+    return t_near, t_far
 
 
 def triangle_aabbs(vertices: np.ndarray, triangles: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

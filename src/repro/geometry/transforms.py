@@ -195,6 +195,15 @@ class Camera:
         _, _, forward = self.basis()
         return (points - self.position) @ forward
 
+    def visibility_distance(self, bounds: AABB) -> float:
+        """Distance from the camera to a bounding box center.
+
+        The one visibility-ordering formula behind every renderer's
+        ``visibility_depth``: sort-last OVER compositing orders sub-images
+        by this value.
+        """
+        return float(np.linalg.norm(bounds.center - self.position))
+
     # -- convenience constructors -------------------------------------------------
     @classmethod
     def framing_bounds(

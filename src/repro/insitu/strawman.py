@@ -49,6 +49,7 @@ from repro.rendering import (
     Rasterizer,
     RayTracer,
     RayTracerConfig,
+    Renderer,
     RenderResult,
     Scene,
     StructuredVolumeRenderer,
@@ -216,10 +217,11 @@ class Strawman:
             visibility: list[float] = []
             with Timer() as render_timer:
                 for rank, mesh in meshes.items():
-                    result = self._render_rank(mesh, plot, camera)
+                    renderer = self._make_renderer(mesh, plot)
+                    result = renderer.render(camera)
                     record.results.append(result)
                     framebuffers.append(result.framebuffer)
-                    visibility.append(float(np.linalg.norm(mesh.bounds.center - camera.position)))
+                    visibility.append(renderer.visibility_depth(camera))
             record.render_seconds += render_timer.elapsed
 
             with Timer() as composite_timer:
@@ -232,28 +234,31 @@ class Strawman:
             final = layer if final is None else layer.depth_composite(final)
         record.framebuffer = final
 
-    def _render_rank(self, mesh: Mesh, plot: _Plot, camera: Camera) -> RenderResult:
-        """Render one rank's mesh with the plot's renderer."""
+    def _make_renderer(self, mesh: Mesh, plot: _Plot) -> Renderer:
+        """Build the :class:`~repro.rendering.Renderer` for one rank's mesh.
+
+        Every renderer family satisfies the same protocol, so the draw loop
+        renders and orders sub-images without per-family branches.
+        """
         if plot.renderer in _SURFACE_RENDERERS:
             surface = external_faces(self._as_hex_mesh(mesh), scalar_field=plot.variable)
             scene = Scene(surface)
             if plot.renderer == "raytrace":
-                tracer = RayTracer(scene, RayTracerConfig(workload=Workload.SHADING))
-                return tracer.render(camera)
-            return Rasterizer(scene).render(camera)
+                return RayTracer(scene, RayTracerConfig(workload=Workload.SHADING))
+            return Rasterizer(scene)
 
         # Volume rendering: structured grids use the structured ray caster,
         # everything else goes through hex -> tet decomposition.
         field_name, values = mesh.field(plot.variable)
         if isinstance(mesh, UniformGrid) and field_name == "point":
-            return StructuredVolumeRenderer(mesh, plot.variable).render(camera)
+            return StructuredVolumeRenderer(mesh, plot.variable)
         if isinstance(mesh, RectilinearGrid) and field_name == "point":
-            return StructuredVolumeRenderer(mesh.to_uniform_resampled(), plot.variable).render(camera)
+            return StructuredVolumeRenderer(mesh.to_uniform_resampled(), plot.variable)
         hex_mesh = self._as_hex_mesh(mesh)
         point_values = self._point_values(hex_mesh, plot.variable)
         hex_mesh.add_point_field(plot.variable + "_point", point_values)
         tets = hex_to_tets(hex_mesh)
-        return UnstructuredVolumeRenderer(tets, plot.variable + "_point").render(camera)
+        return UnstructuredVolumeRenderer(tets, plot.variable + "_point")
 
     @staticmethod
     def _as_hex_mesh(mesh: Mesh) -> UnstructuredHexMesh:

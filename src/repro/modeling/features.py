@@ -30,11 +30,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.rendering.result import ObservedFeatures
+from repro.rendering.result import ObservedFeatures, RenderResult
 
 __all__ = [
     "RenderingConfiguration",
     "map_configuration_to_features",
+    "features_from_result",
     "CAMERA_FILL_FRACTION",
     "SAMPLES_PER_RAY_BASELINE",
 ]
@@ -138,3 +139,20 @@ def map_configuration_to_features(config: RenderingConfiguration) -> ObservedFea
         scale = config.samples_in_depth / 1000.0
         features.samples_per_ray = SAMPLES_PER_RAY_BASELINE * scale / task_shrink
     return features
+
+
+def features_from_result(result: RenderResult) -> dict[str, float | str]:
+    """One standardized corpus row from any renderer family's result.
+
+    Every renderer validates its phases against the shared schema of
+    :mod:`repro.rendering.result`, so this mapping is renderer-agnostic: the
+    Section 5.3 model-input variables (``O``, ``AP``, ``VO``, ``PPT``,
+    ``SPR``, ``CS``) plus the canonical phase groups (``t_setup``,
+    ``t_sample``, ``t_shade``, ``t_composite``) and total render time.
+    """
+    row: dict[str, float | str] = dict(result.features.as_dict())
+    for group, seconds in result.grouped_seconds().items():
+        row[f"t_{group}"] = seconds
+    row["t_total"] = result.total_seconds
+    row["technique"] = result.technique
+    return row

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.geometry.aabb import ray_box_intervals
 from repro.geometry.mesh import UnstructuredTetMesh
 from repro.geometry.transforms import Camera
 from repro.rendering.framebuffer import Framebuffer
@@ -173,8 +174,17 @@ class ProjectedTetrahedraRenderer:
         features.active_pixels = int(np.count_nonzero(accum_alpha > 0.0))
         written = np.flatnonzero(accum_alpha > 0.0)
         rgba = np.concatenate([accum_rgb, accum_alpha[:, None]], axis=1)
-        framebuffer.write_pixels(written, rgba[written], np.zeros(len(written)))
+        # Covered pixels follow the shared depth convention (nearest data
+        # depth, as the sampling volume renderer reports); misses stay inf.
+        # Only cells actually splatted count -- behind-camera vertices must
+        # not drag the layer depth negative.
+        nearest = float(cell_depth[ordered].min()) if len(ordered) else np.inf
+        framebuffer.write_pixels(written, rgba[written], np.full(len(written), max(nearest, 0.0)))
         return RenderResult(framebuffer, phases, features, technique="havs_proxy")
+
+    def visibility_depth(self, camera: Camera) -> float:
+        """Distance from the camera to the mesh center (for visibility ordering)."""
+        return camera.visibility_distance(self.mesh.bounds)
 
 
 @dataclass
@@ -238,11 +248,8 @@ class ConnectivityRayCaster:
         with Timer() as timer:
             pixel_ids = np.arange(camera.width * camera.height, dtype=np.int64)
             origins, directions = camera.generate_rays(pixel_ids)
-            inv = np.where(np.abs(directions) < 1e-300, 1e300, 1.0 / np.where(directions == 0, 1.0, directions))
-            t0 = (bounds.low[None, :] - origins) * inv
-            t1 = (bounds.high[None, :] - origins) * inv
-            near = np.maximum(np.minimum(t0, t1).max(axis=1), 0.0)
-            far = np.maximum(t0, t1).min(axis=1)
+            near, far = ray_box_intervals(origins, directions, bounds.low, bounds.high)
+            near = np.maximum(near, 0.0)
             active = far > near
         phases["ray_setup"] = timer.elapsed
 
@@ -278,9 +285,16 @@ class ConnectivityRayCaster:
         features.active_pixels = int(np.count_nonzero(accum_alpha > 0.0))
         features.samples_per_ray = float(n_steps)
         rgba = np.concatenate([accum_rgb, accum_alpha[:, None]], axis=1)
-        written = active_ids[accum_alpha > 0.0]
-        framebuffer.write_pixels(written, rgba[accum_alpha > 0.0], np.zeros(len(written)))
+        covered = accum_alpha > 0.0
+        written = active_ids[covered]
+        # Covered pixels report their ray's entry distance (the shared depth
+        # convention); misses stay inf.
+        framebuffer.write_pixels(written, rgba[covered], near[written])
         return RenderResult(framebuffer, phases, features, technique="bunyk_proxy")
+
+    def visibility_depth(self, camera: Camera) -> float:
+        """Distance from the camera to the mesh center (for visibility ordering)."""
+        return camera.visibility_distance(self.mesh.bounds)
 
 
 @dataclass
@@ -309,3 +323,7 @@ class VisItStyleSampler:
         result = renderer.render(camera)
         result.technique = "visit_proxy"
         return result
+
+    def visibility_depth(self, camera: Camera) -> float:
+        """Distance from the camera to the mesh center (for visibility ordering)."""
+        return camera.visibility_distance(self.mesh.bounds)

@@ -110,6 +110,10 @@ class Rasterizer:
         phases.setdefault("fragments", 0.0)
         return RenderResult(framebuffer, phases, features, technique="raster")
 
+    def visibility_depth(self, camera: Camera) -> float:
+        """Distance from the camera to the scene center (for visibility ordering)."""
+        return camera.visibility_distance(self.scene.mesh.bounds)
+
     # -- internals ---------------------------------------------------------------------
     def _rasterize_visible(
         self,

@@ -1,0 +1,122 @@
+"""The shared ray emitter: one camera-ray front-end for every image-order renderer.
+
+Before the frontier refactor each image-order renderer carried its own ray
+setup -- the ray tracer's Morton-ordered (optionally super-sampled) generator,
+and private ray/bounds interval clips in the structured volume caster and the
+connectivity ray-caster baseline (one of which lost the sign of tiny negative
+direction components).  :class:`RayEmitter` centralizes all of it on top of
+:meth:`repro.geometry.transforms.Camera.generate_rays` and the shared slab
+test :func:`repro.geometry.aabb.ray_box_intervals`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.aabb import AABB, ray_box_intervals
+from repro.geometry.transforms import Camera
+from repro.util.morton import morton_encode_2d
+
+__all__ = ["RayEmitter"]
+
+
+@dataclass
+class RayEmitter:
+    """Generates primary rays for a camera in a renderer-agnostic way.
+
+    Attributes
+    ----------
+    camera:
+        The pinhole camera rays originate from.
+    supersample:
+        Rays per pixel: 1, or 4 for the study's anti-aliasing configuration
+        (jittered sub-pixel positions via a double-resolution camera).
+    morton_order:
+        Emit rays along a Morton curve of the framebuffer (the ray tracer's
+        coherence ordering) instead of row-major pixel order.
+    """
+
+    camera: Camera
+    supersample: int = 1
+    morton_order: bool = False
+
+    def __post_init__(self) -> None:
+        if self.supersample not in (1, 4):
+            raise ValueError("supersample must be 1 or 4")
+
+    # -- orderings -------------------------------------------------------------
+    def _morton_pixel_order(self) -> np.ndarray:
+        """Pixel ids sorted along a Morton curve of the framebuffer."""
+        camera = self.camera
+        pixel_ids = np.arange(camera.width * camera.height, dtype=np.int64)
+        px = (pixel_ids % camera.width).astype(np.uint32)
+        py = (pixel_ids // camera.width).astype(np.uint32)
+        codes = morton_encode_2d(px, py)
+        return pixel_ids[np.argsort(codes, kind="stable")]
+
+    # -- emission --------------------------------------------------------------
+    def emit(self, pixel_ids: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Primary rays; returns ``(pixel_ids, origins, directions)``.
+
+        ``pixel_ids`` restricts emission to specific (row-major) pixels and
+        overrides the Morton ordering; with 4x super-sampling each pixel id
+        appears four times with jittered sub-pixel positions.
+        """
+        camera = self.camera
+        if self.supersample == 1:
+            if pixel_ids is None:
+                if self.morton_order:
+                    pixel_ids = self._morton_pixel_order()
+                else:
+                    pixel_ids = np.arange(camera.width * camera.height, dtype=np.int64)
+            else:
+                pixel_ids = np.asarray(pixel_ids, dtype=np.int64)
+            origins, directions = camera.generate_rays(pixel_ids)
+            return pixel_ids, origins, directions
+        if pixel_ids is not None:
+            raise ValueError("explicit pixel_ids are not supported with super-sampling")
+        # Four-ray super-sampling: jitter by generating rays on a double-res
+        # camera and mapping each fine pixel back to its coarse parent.
+        fine = Camera(
+            position=camera.position,
+            look_at=camera.look_at,
+            up=camera.up,
+            fov_y_degrees=camera.fov_y_degrees,
+            width=camera.width * 2,
+            height=camera.height * 2,
+            near=camera.near,
+            far=camera.far,
+        )
+        fine_ids = np.arange(fine.width * fine.height, dtype=np.int64)
+        fx = fine_ids % fine.width
+        fy = fine_ids // fine.width
+        parent = (fy // 2) * camera.width + (fx // 2)
+        if self.morton_order:
+            order = np.argsort(
+                morton_encode_2d((fx // 2).astype(np.uint32), (fy // 2).astype(np.uint32)),
+                kind="stable",
+            )
+        else:
+            order = np.argsort(parent, kind="stable")
+        origins, directions = fine.generate_rays(fine_ids[order])
+        return parent[order], origins, directions
+
+    def emit_clipped(
+        self, bounds: AABB
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Rays whose parametric interval overlaps ``bounds``.
+
+        Returns ``(pixel_ids, origins, directions, t_near, t_far)`` restricted
+        to rays with a non-degenerate span: ``t_near`` is clamped at 0 (rays
+        starting inside the box enter immediately) and only rays with
+        ``t_far > t_near`` are kept.  This is the shared "ray setup" phase of
+        the volume ray casters.
+        """
+        pixel_ids, origins, directions = self.emit()
+        t_near, t_far = ray_box_intervals(origins, directions, bounds.low, bounds.high)
+        t_near = np.maximum(t_near, 0.0)
+        keep = t_far > t_near
+        kept = np.flatnonzero(keep)
+        return pixel_ids[kept], origins[kept], directions[kept], t_near[kept], t_far[kept]

@@ -46,9 +46,9 @@ from repro.rendering.raytracer.shading import (
     occlusion_to_ambient,
 )
 from repro.rendering.raytracer.traversal import any_hit, closest_hit
+from repro.rendering.rays import RayEmitter
 from repro.rendering.result import ObservedFeatures, RenderResult
 from repro.rendering.scene import Scene
-from repro.util.morton import morton_encode_2d
 from repro.util.rng import default_rng
 from repro.util.timing import Timer
 
@@ -147,46 +147,14 @@ class RayTracer:
         return self._bvh
 
     # -- ray generation --------------------------------------------------------------
-    def _morton_pixel_order(self, camera: Camera) -> np.ndarray:
-        """Pixel ids sorted along a Morton curve of the framebuffer."""
-        pixel_ids = np.arange(camera.width * camera.height, dtype=np.int64)
-        px = (pixel_ids % camera.width).astype(np.uint32)
-        py = (pixel_ids // camera.width).astype(np.uint32)
-        codes = morton_encode_2d(px, py)
-        return pixel_ids[np.argsort(codes, kind="stable")]
-
     def _generate_rays(self, camera: Camera) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Primary rays in Morton order; returns (pixel_ids, origins, directions).
+        """Primary rays in Morton order via the shared :class:`RayEmitter`."""
+        emitter = RayEmitter(camera, supersample=self.config.supersample, morton_order=True)
+        return emitter.emit()
 
-        With 4x super-sampling each pixel id appears four times with jittered
-        sub-pixel positions.
-        """
-        ordered_pixels = self._morton_pixel_order(camera)
-        if self.config.supersample == 1:
-            origins, directions = camera.generate_rays(ordered_pixels)
-            return ordered_pixels, origins, directions
-        # Four-ray super-sampling: jitter by generating rays on a double-res
-        # camera and mapping each fine pixel back to its coarse parent.
-        fine = Camera(
-            position=camera.position,
-            look_at=camera.look_at,
-            up=camera.up,
-            fov_y_degrees=camera.fov_y_degrees,
-            width=camera.width * 2,
-            height=camera.height * 2,
-            near=camera.near,
-            far=camera.far,
-        )
-        fine_ids = np.arange(fine.width * fine.height, dtype=np.int64)
-        fx = fine_ids % fine.width
-        fy = fine_ids // fine.width
-        parent = (fy // 2) * camera.width + (fx // 2)
-        order = np.argsort(
-            morton_encode_2d((fx // 2).astype(np.uint32), (fy // 2).astype(np.uint32)),
-            kind="stable",
-        )
-        origins, directions = fine.generate_rays(fine_ids[order])
-        return parent[order], origins, directions
+    def visibility_depth(self, camera: Camera) -> float:
+        """Distance from the camera to the scene center (for visibility ordering)."""
+        return camera.visibility_distance(self.scene.mesh.bounds)
 
     # -- main entry point ---------------------------------------------------------------
     def render(self, camera: Camera) -> RenderResult:
@@ -199,9 +167,9 @@ class RayTracer:
             bvh = self.build_acceleration_structure()
         phases["bvh_build"] = self._bvh_seconds
 
-        with Timer() as timer, InstrumentationScope("raytrace.ray_generation"):
+        with Timer() as timer, InstrumentationScope("raytrace.ray_setup"):
             pixel_ids, origins, directions = self._generate_rays(camera)
-        phases["ray_generation"] = timer.elapsed
+        phases["ray_setup"] = timer.elapsed
 
         with Timer() as timer, InstrumentationScope("raytrace.trace"):
             hits = closest_hit(bvh, mesh, origins, directions, dtype=config.ray_state_dtype)

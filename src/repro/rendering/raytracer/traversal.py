@@ -1,14 +1,15 @@
 """Vectorized ray-AABB tests, ray-triangle intersection, and BVH traversal.
 
 Traversal follows the spirit of the "if-if" algorithm of Aila and Laine that
-the paper's ray tracer adapts, executed as a **compacted-frontier engine**:
+the paper's ray tracer adapts, executed as a kernel on the shared
+**compacted-frontier engine** (:mod:`repro.dpp.frontier`):
 
 * All mutable ray state -- origins, directions, reciprocal directions,
   per-ray traversal stacks, and best-hit records -- is gathered once into a
-  contiguous structure-of-arrays *frontier* (one flat array per vector
-  component).  The SIMT loop runs entirely on the frontier, so every
-  vectorized step touches only resident rays instead of fancy-indexing
-  full-width ray arrays.
+  contiguous structure-of-arrays frontier (:class:`repro.dpp.FrontierLanes`,
+  one flat array per vector component).  The SIMT loop runs entirely on the
+  frontier, so every vectorized step touches only resident rays instead of
+  fancy-indexing full-width ray arrays.
 * Traversal is **ordered**: popping an internal node tests both child boxes
   componentwise, computes their entry distances, and pushes the far child
   below the near child; pushes -- and pops, via the entry distance carried on
@@ -21,12 +22,13 @@ the paper's ray tracer adapts, executed as a **compacted-frontier engine**:
   same idiom as the volume renderer's ``pair_chunk`` sampler) and tested in a
   single Moller-Trumbore evaluation; each ray's winner is selected with the
   device-routed :func:`repro.dpp.primitives.segmented_argmin`.
-* As rays retire the frontier is periodically **re-compacted** through
-  :func:`repro.dpp.primitives.stream_compact`, and retiring rays' results are
-  scattered back to full-width output arrays through
-  :func:`repro.dpp.primitives.scatter` -- so the data-parallel instrumentation
-  choke point (:class:`repro.dpp.instrument.OpCounters`) observes the
-  traversal work just as it observes every other pipeline stage.
+* Retirement, the periodic **re-compaction** of the frontier, and the
+  scatter of retiring rays' results back to full-width output arrays belong
+  to :class:`repro.dpp.FrontierEngine` -- the kernel only reports which lanes
+  emptied their stacks.  The engine routes that traffic through
+  :mod:`repro.dpp.primitives`, so the data-parallel instrumentation choke
+  point (:class:`repro.dpp.instrument.OpCounters`) observes the traversal
+  work just as it observes every other pipeline stage.
 
 Two query types are provided:
 
@@ -46,7 +48,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dpp.primitives import scatter, segmented_argmin, stream_compact
+from repro.dpp.frontier import (
+    FRONTIER_COMPACT_FRACTION,
+    FRONTIER_COMPACT_MIN,
+    FrontierEngine,
+    FrontierLanes,
+)
+from repro.dpp.primitives import segmented_argmin
+from repro.geometry.aabb import safe_reciprocal
 from repro.geometry.triangles import TriangleMesh
 from repro.rendering.raytracer.bvh import BVH
 
@@ -63,13 +72,6 @@ __all__ = [
 
 #: Numerical epsilon used by the intersector to reject grazing hits.
 EPSILON = 1e-9
-
-#: Retired fraction of the frontier that triggers a re-compaction.
-FRONTIER_COMPACT_FRACTION = 0.25
-
-#: Minimum number of retired rays before a re-compaction is worthwhile
-#: (below this the stream-compact overhead outweighs the dead-lane waste).
-FRONTIER_COMPACT_MIN = 256
 
 
 @dataclass
@@ -223,18 +225,6 @@ def _moller_components(
     return hit, t, u, v
 
 
-def _safe_inverse(directions: np.ndarray) -> np.ndarray:
-    """Reciprocal directions with zeros replaced by a huge finite value.
-
-    The replacement magnitude adapts to the dtype so the reciprocal stays
-    finite in ``float32`` throughput mode as well.
-    """
-    tiny = 1e-300 if directions.dtype.itemsize >= 8 else np.float32(1e-30)
-    small = np.abs(directions) < tiny
-    safe = np.where(small, np.copysign(tiny, np.where(directions == 0.0, 1.0, directions)), directions)
-    return 1.0 / safe
-
-
 #: Pops per frontier lane per loop iteration, keyed by frontier width: wide
 #: frontiers take one ordered stack op per lane (best culling), narrow
 #: (tail) frontiers drain several stack levels at once so the per-iteration
@@ -249,150 +239,104 @@ def _pops_for_width(width: int) -> int:
     return FRONTIER_POP_SCHEDULE[-1][1]
 
 
-class _Frontier:
-    """Contiguous SoA of all mutable ray state resident in the traversal loop.
+def _frontier_lanes(origins, directions, limit_t, dtype, max_stack, t_min) -> FrontierLanes:
+    """Build the traversal frontier: a contiguous SoA of all mutable ray state.
 
     Lane liveness is encoded entirely in ``stack_tops``: a lane with an empty
     stack is retired (any-hit occlusion simply empties the stack).  ``limit``
     caches ``min(best_t, limit_t)`` and is tightened in place as hits land.
     """
+    n = len(origins)
+    dx = np.ascontiguousarray(directions[:, 0], dtype=dtype)
+    dy = np.ascontiguousarray(directions[:, 1], dtype=dtype)
+    dz = np.ascontiguousarray(directions[:, 2], dtype=dtype)
+    stack_node = np.full((n, max_stack), -1, dtype=np.int32)
+    stack_entry = np.zeros((n, max_stack), dtype=dtype)
+    stack_node[:, 0] = 0
+    stack_entry[:, 0] = t_min
+    state = {
+        "ox": np.ascontiguousarray(origins[:, 0], dtype=dtype),
+        "oy": np.ascontiguousarray(origins[:, 1], dtype=dtype),
+        "oz": np.ascontiguousarray(origins[:, 2], dtype=dtype),
+        "dx": dx,
+        "dy": dy,
+        "dz": dz,
+        "ix": safe_reciprocal(dx),
+        "iy": safe_reciprocal(dy),
+        "iz": safe_reciprocal(dz),
+        "best_t": np.full(n, np.inf, dtype=dtype),
+        "limit_t": limit_t,
+        "limit": limit_t.copy(),
+        "best_triangle": np.full(n, -1, dtype=np.int64),
+        "best_u": np.zeros(n, dtype=dtype),
+        "best_v": np.zeros(n, dtype=dtype),
+        "visits": np.zeros(n, dtype=np.int64),
+        "stack_node": stack_node,
+        "stack_entry": stack_entry,
+        "stack_tops": np.ones(n, dtype=np.int32),
+    }
+    return FrontierLanes(np.arange(n, dtype=np.int64), state)
 
-    __slots__ = (
-        "ray_ids", "ox", "oy", "oz", "dx", "dy", "dz", "ix", "iy", "iz",
-        "best_t", "limit_t", "limit", "best_triangle", "best_u", "best_v",
-        "visits", "stack_node", "stack_entry", "stack_tops", "base", "max_stack",
-    )
 
-    def __init__(self, origins, directions, limit_t, dtype, max_stack, t_min):
-        n = len(origins)
-        self.ray_ids = np.arange(n, dtype=np.int64)
-        self.ox = np.ascontiguousarray(origins[:, 0], dtype=dtype)
-        self.oy = np.ascontiguousarray(origins[:, 1], dtype=dtype)
-        self.oz = np.ascontiguousarray(origins[:, 2], dtype=dtype)
-        self.dx = np.ascontiguousarray(directions[:, 0], dtype=dtype)
-        self.dy = np.ascontiguousarray(directions[:, 1], dtype=dtype)
-        self.dz = np.ascontiguousarray(directions[:, 2], dtype=dtype)
-        self.ix = _safe_inverse(self.dx)
-        self.iy = _safe_inverse(self.dy)
-        self.iz = _safe_inverse(self.dz)
-        self.best_t = np.full(n, np.inf, dtype=dtype)
-        self.limit_t = limit_t
-        self.limit = limit_t.copy()
-        self.best_triangle = np.full(n, -1, dtype=np.int64)
-        self.best_u = np.zeros(n, dtype=dtype)
-        self.best_v = np.zeros(n, dtype=dtype)
-        self.visits = np.zeros(n, dtype=np.int64)
-        self.stack_node = np.full((n, max_stack), -1, dtype=np.int32)
-        self.stack_entry = np.zeros((n, max_stack), dtype=dtype)
-        self.stack_node[:, 0] = 0
-        self.stack_entry[:, 0] = t_min
-        self.stack_tops = np.ones(n, dtype=np.int32)
-        self.max_stack = max_stack
-        self.base = self.ray_ids * max_stack  # flat stack addressing
+class _TraversalKernel:
+    """Ordered BVH traversal as a :class:`repro.dpp.FrontierKernel`.
 
-    def __len__(self) -> int:
-        return len(self.ray_ids)
+    One engine step pops (up to ``pops``) stack entries per lane, slab-tests
+    both children of every surviving internal node, pushes internal children
+    far-below-near, and batch-intersects every discovered leaf.  Lanes retire
+    when their stack empties.
+    """
 
-    def grow_stack(self, new_max: int) -> tuple[np.ndarray, np.ndarray]:
+    output_fields = ("best_triangle", "best_t", "best_u", "best_v", "visits")
+
+    def __init__(self, bvh: BVH, mesh: TriangleMesh, dtype, t_min: float, any_hit_mode: bool):
+        self.tri = bvh.triangle_soa(mesh, dtype)
+        self.boxes = bvh.node_boxes(dtype)
+        self.left_child = bvh.left_child
+        self.right_child = bvh.right_child
+        self.first_primitive = bvh.first_primitive
+        self.primitive_count = bvh.primitive_count
+        self.primitive_order = bvh.primitive_order
+        self.t_min = float(t_min)
+        self.any_hit_mode = any_hit_mode
+        self.max_pops = max(pops for _, pops in FRONTIER_POP_SCHEDULE)
+        # Single-pop ordered DFS holds at most depth + 1 entries (a pop at
+        # depth d has at most d entries below it and pushes at most 2), plus
+        # slack for the multi-pop tail window.  The window expands several
+        # subtrees BFS-style, so no depth-based bound holds for it in general
+        # (densely overlapping geometry); the step therefore checks capacity
+        # before every push round and grows the stacks on demand, with an
+        # assertion backing the final bound.
+        self.initial_stack = max(bvh.max_depth() + 1 + 2 * (self.max_pops - 1), 2)
+        self.max_stack = self.initial_stack
+        self.base = np.empty(0, dtype=np.int64)
+        self.root_is_leaf = self.primitive_count[0] > 0
+
+    def on_compact(self, lanes: FrontierLanes) -> None:
+        """Rebuild the flat stack addressing for the new lane count."""
+        self.max_stack = lanes["stack_node"].shape[1]
+        self.base = np.arange(len(lanes), dtype=np.int64) * self.max_stack
+
+    def _grow_stack(self, lanes: FrontierLanes, new_max: int) -> tuple[np.ndarray, np.ndarray]:
         """Widen every lane's stack to ``new_max`` entries (contents kept).
 
-        The single-pop DFS bound (depth + 1) does not hold for the multi-pop
-        tail window on densely overlapping geometry, so the stacks grow on
-        demand instead of overflowing.  Returns fresh flat views.
+        Returns fresh flat views of the widened stacks.
         """
-        n = len(self.ray_ids)
-        old = self.stack_node.shape[1]
+        n = len(lanes)
+        old_node = lanes["stack_node"]
+        old_entry = lanes["stack_entry"]
+        old = old_node.shape[1]
         node = np.full((n, new_max), -1, dtype=np.int32)
-        entry = np.zeros((n, new_max), dtype=self.stack_entry.dtype)
-        node[:, :old] = self.stack_node
-        entry[:, :old] = self.stack_entry
-        self.stack_node = node
-        self.stack_entry = entry
+        entry = np.zeros((n, new_max), dtype=old_entry.dtype)
+        node[:, :old] = old_node
+        entry[:, :old] = old_entry
+        lanes["stack_node"] = node
+        lanes["stack_entry"] = entry
         self.max_stack = new_max
         self.base = np.arange(n, dtype=np.int64) * new_max
         return node.reshape(-1), entry.reshape(-1)
 
-    def mutable_arrays(self):
-        return (
-            self.ray_ids, self.ox, self.oy, self.oz, self.dx, self.dy, self.dz,
-            self.ix, self.iy, self.iz, self.best_t, self.limit_t, self.limit,
-            self.best_triangle, self.best_u, self.best_v, self.visits,
-            self.stack_node, self.stack_entry, self.stack_tops,
-        )
-
-    def replace(self, arrays):
-        (
-            self.ray_ids, self.ox, self.oy, self.oz, self.dx, self.dy, self.dz,
-            self.ix, self.iy, self.iz, self.best_t, self.limit_t, self.limit,
-            self.best_triangle, self.best_u, self.best_v, self.visits,
-            self.stack_node, self.stack_entry, self.stack_tops,
-        ) = arrays
-        self.max_stack = self.stack_node.shape[1] if self.stack_node.ndim == 2 else 1
-        self.base = np.arange(len(self.ray_ids), dtype=np.int64) * self.max_stack
-
-
-def _traverse(
-    bvh: BVH,
-    mesh: TriangleMesh,
-    origins: np.ndarray,
-    directions: np.ndarray,
-    t_min: float,
-    t_max: float | np.ndarray,
-    any_hit_mode: bool,
-    dtype: np.dtype | type = np.float64,
-) -> HitRecord:
-    """Shared compacted-frontier traversal kernel for closest/any-hit queries."""
-    dtype = np.dtype(dtype)
-    origins = np.asarray(origins)
-    directions = np.asarray(directions)
-    n_rays = len(origins)
-
-    # Full-width result arrays; the frontier scatters into these as rays retire.
-    out_triangle = np.full(n_rays, -1, dtype=np.int64)
-    out_t = np.full(n_rays, np.inf)
-    out_u = np.zeros(n_rays)
-    out_v = np.zeros(n_rays)
-    out_visits = np.zeros(n_rays, dtype=np.int64)
-    if n_rays == 0 or bvh.num_nodes == 0:
-        return HitRecord(out_triangle, out_t, out_u, out_v, out_visits)
-
-    tri = bvh.triangle_soa(mesh, dtype)
-    boxes = bvh.node_boxes(dtype)
-    left_child = bvh.left_child
-    right_child = bvh.right_child
-    first_primitive = bvh.first_primitive
-    primitive_count = bvh.primitive_count
-    primitive_order = bvh.primitive_order
-    t_min = float(t_min)
-    limit_t = np.broadcast_to(np.asarray(t_max, dtype=dtype), (n_rays,)).copy()
-
-    # Initial stack size: single-pop ordered DFS holds at most depth + 1
-    # entries (a pop at depth d has at most d entries below it and pushes at
-    # most 2), plus slack for the multi-pop tail window.  The window expands
-    # several subtrees BFS-style, so no depth-based bound holds for it in
-    # general (densely overlapping geometry); the loop therefore checks
-    # capacity before every push round and grows the stacks on demand, with
-    # an assertion backing the final bound.
-    max_pops = max(pops for _, pops in FRONTIER_POP_SCHEDULE)
-    initial_stack = max(bvh.max_depth() + 1 + 2 * (max_pops - 1), 2)
-    frontier = _Frontier(origins, directions, limit_t, dtype, initial_stack, t_min)
-
-    def flush_and_compact():
-        """Scatter retiring rays' results back, then compact the survivors."""
-        resident = frontier.stack_tops > 0
-        _, (done_ids, done_tri, done_t, done_u, done_v, done_visits) = stream_compact(
-            ~resident, frontier.ray_ids, frontier.best_triangle, frontier.best_t,
-            frontier.best_u, frontier.best_v, frontier.visits,
-        )
-        scatter(done_tri, done_ids, out_triangle)
-        scatter(done_t.astype(np.float64, copy=False), done_ids, out_t)
-        scatter(done_u.astype(np.float64, copy=False), done_ids, out_u)
-        scatter(done_v.astype(np.float64, copy=False), done_ids, out_v)
-        scatter(done_visits, done_ids, out_visits)
-        _, compacted = stream_compact(resident, *frontier.mutable_arrays())
-        frontier.replace(compacted)
-
-    def intersect_leaves(slots, leaf_nodes):
+    def _intersect_leaves(self, s: dict, slots: np.ndarray, leaf_nodes: np.ndarray) -> None:
         """Batched (ray, triangle) pair expansion + intersection for one batch
         of leaf candidates.
 
@@ -402,6 +346,8 @@ def _traverse(
         update is race-free.  Ties on t go to the smaller triangle id,
         matching the brute-force reference's serial first-minimum sweep.
         """
+        primitive_count = self.primitive_count
+        tri = self.tri
         counts = primitive_count.take(leaf_nodes)
         n_candidates = len(slots)
         starts = np.zeros(n_candidates, dtype=np.int64)
@@ -409,17 +355,17 @@ def _traverse(
         total = int(starts[-1] + counts[-1])
         candidate_of_pair = np.repeat(np.arange(n_candidates, dtype=np.int64), counts)
         local = np.arange(total, dtype=np.int64) - starts.take(candidate_of_pair)
-        prims = primitive_order.take(first_primitive.take(leaf_nodes).take(candidate_of_pair) + local)
+        prims = self.primitive_order.take(
+            self.first_primitive.take(leaf_nodes).take(candidate_of_pair) + local
+        )
         pair_slots = slots.take(candidate_of_pair)
         _, t, u, v = _moller_components(
-            frontier.ox.take(pair_slots), frontier.oy.take(pair_slots),
-            frontier.oz.take(pair_slots),
-            frontier.dx.take(pair_slots), frontier.dy.take(pair_slots),
-            frontier.dz.take(pair_slots),
+            s["ox"].take(pair_slots), s["oy"].take(pair_slots), s["oz"].take(pair_slots),
+            s["dx"].take(pair_slots), s["dy"].take(pair_slots), s["dz"].take(pair_slots),
             tri[0].take(prims), tri[1].take(prims), tri[2].take(prims),
             tri[3].take(prims), tri[4].take(prims), tri[5].take(prims),
             tri[6].take(prims), tri[7].take(prims), tri[8].take(prims),
-            t_min, frontier.limit.take(pair_slots),
+            self.t_min, s["limit"].take(pair_slots),
         )
         # One segmented argmin straight from pairs to slots: pairs are
         # slot-major, so slot segments are contiguous unions of candidates.
@@ -433,40 +379,42 @@ def _traverse(
         winner_prims = prims.take(winner)
         winner_u = u.take(winner)
         winner_v = v.take(winner)
-        frontier.visits[unique_slots] += np.diff(np.append(slot_starts, n_candidates))
-        best = frontier.best_t.take(unique_slots)
+        s["visits"][unique_slots] += np.diff(np.append(slot_starts, n_candidates))
+        best = s["best_t"].take(unique_slots)
         improved = winner_t < best
         improved |= (
             (winner_t == best)
             & np.isfinite(winner_t)
-            & (winner_prims < frontier.best_triangle.take(unique_slots))
+            & (winner_prims < s["best_triangle"].take(unique_slots))
         )
         winners = unique_slots[improved]
         improved_t = winner_t[improved]
-        frontier.best_t[winners] = improved_t
-        frontier.best_triangle[winners] = winner_prims[improved]
-        frontier.best_u[winners] = winner_u[improved]
-        frontier.best_v[winners] = winner_v[improved]
-        frontier.limit[winners] = np.minimum(improved_t, frontier.limit_t.take(winners))
-        if any_hit_mode:
+        s["best_t"][winners] = improved_t
+        s["best_triangle"][winners] = winner_prims[improved]
+        s["best_u"][winners] = winner_u[improved]
+        s["best_v"][winners] = winner_v[improved]
+        s["limit"][winners] = np.minimum(improved_t, s["limit_t"].take(winners))
+        if self.any_hit_mode:
             # Occluded rays retire immediately: an empty stack is retirement.
-            frontier.stack_tops[winners] = 0
+            s["stack_tops"][winners] = 0
 
-    # Degenerate single-leaf hierarchy: intersect the root directly.
-    if primitive_count[0] > 0:
-        intersect_leaves(
-            np.arange(len(frontier), dtype=np.int64),
-            np.zeros(len(frontier), dtype=np.int64),
-        )
-        frontier.stack_tops[:] = 0
-        flush_and_compact()
+    def step(self, lanes: FrontierLanes) -> np.ndarray:
+        s = lanes.state
+        n_resident = len(lanes)
 
-    while len(frontier):
-        n_resident = len(frontier)
+        # Degenerate single-leaf hierarchy: intersect the root directly and
+        # retire every lane in the first step.
+        if self.root_is_leaf:
+            all_slots = np.arange(n_resident, dtype=np.int64)
+            self._intersect_leaves(s, all_slots, np.zeros(n_resident, dtype=np.int64))
+            s["stack_tops"][:] = 0
+            return np.ones(n_resident, dtype=bool)
+
         pops = _pops_for_width(n_resident)
-        flat_node = frontier.stack_node.reshape(-1)
-        flat_entry = frontier.stack_entry.reshape(-1)
-        tops = frontier.stack_tops
+        flat_node = s["stack_node"].reshape(-1)
+        flat_entry = s["stack_entry"].reshape(-1)
+        tops = s["stack_tops"]
+        limit = s["limit"]
 
         # Pop the top `pops` stack entries of every lane at once.  Lane-major
         # raveling keeps virtual pops of one lane adjacent, ordered top
@@ -474,49 +422,53 @@ def _traverse(
         # wrapped flat reads stay in bounds because read >= -max_stack).
         if pops == 1:
             read = tops - np.int32(1)
-            addr = frontier.base + read
+            addr = self.base + read
             nodes = flat_node.take(addr)
             entries = flat_entry.take(addr)
-            consider = (read >= 0) & (entries <= frontier.limit)
-            frontier.stack_tops = np.maximum(read, 0)
+            consider = (read >= 0) & (entries <= limit)
+            stack_tops = s["stack_tops"] = np.maximum(read, 0)
             group = np.flatnonzero(consider)
             slots = group
             if len(group) == n_resident:
                 group_nodes = nodes
-                frontier.visits += 1
+                s["visits"] += 1
             else:
                 group_nodes = nodes.take(group)
-                frontier.visits[slots] += 1
+                s["visits"][slots] += 1
         else:
             read = tops[:, None] - np.arange(1, pops + 1, dtype=np.int32)[None, :]
-            addr = frontier.base[:, None] + read
+            addr = self.base[:, None] + read
             nodes = flat_node.take(addr)
             entries = flat_entry.take(addr)
-            consider = (read >= 0) & (entries <= frontier.limit[:, None])
-            frontier.stack_tops = np.maximum(tops - np.int32(pops), 0)
+            consider = (read >= 0) & (entries <= limit[:, None])
+            stack_tops = s["stack_tops"] = np.maximum(tops - np.int32(pops), 0)
             group = np.flatnonzero(consider.ravel())
             slots = group // pops
             group_nodes = nodes.ravel().take(group)
-            frontier.visits += consider.sum(axis=1)
+            s["visits"] += consider.sum(axis=1)
 
         size = len(group)
         if size:
+            boxes = self.boxes
+            t_min = self.t_min
             # Lanes whose single pop all survived the cull need no gathers at
             # all -- the frontier arrays are already the group (identity).
             identity = pops == 1 and size == n_resident
-            children = np.concatenate([left_child.take(group_nodes), right_child.take(group_nodes)])
+            children = np.concatenate(
+                [self.left_child.take(group_nodes), self.right_child.take(group_nodes)]
+            )
             if identity:
-                gox, goy, goz = frontier.ox, frontier.oy, frontier.oz
-                gix, giy, giz = frontier.ix, frontier.iy, frontier.iz
-                glimit = frontier.limit
+                gox, goy, goz = s["ox"], s["oy"], s["oz"]
+                gix, giy, giz = s["ix"], s["iy"], s["iz"]
+                glimit = limit
             else:
-                gox = frontier.ox.take(slots)
-                goy = frontier.oy.take(slots)
-                goz = frontier.oz.take(slots)
-                gix = frontier.ix.take(slots)
-                giy = frontier.iy.take(slots)
-                giz = frontier.iz.take(slots)
-                glimit = frontier.limit.take(slots)
+                gox = s["ox"].take(slots)
+                goy = s["oy"].take(slots)
+                goz = s["oz"].take(slots)
+                gix = s["ix"].take(slots)
+                giy = s["iy"].take(slots)
+                giz = s["iz"].take(slots)
+                glimit = limit.take(slots)
             # Ray state is gathered once and used for both child slab tests.
             hit_left, t_left = _slab_entry(
                 gox, goy, goz, gix, giy, giz,
@@ -534,7 +486,7 @@ def _traverse(
                 boxes[5].take(children[size:]),
                 t_min, glimit,
             )
-            child_is_leaf = primitive_count.take(children) > 0
+            child_is_leaf = self.primitive_count.take(children) > 0
             left, right = children[:size], children[size:]
             left_is_leaf, right_is_leaf = child_is_leaf[:size], child_is_leaf[size:]
 
@@ -557,7 +509,7 @@ def _traverse(
             if pops == 1:
                 seg_slots = slots
                 seg_pushes = pushes
-                position = frontier.stack_tops if identity else frontier.stack_tops.take(slots)
+                position = stack_tops if identity else stack_tops.take(slots)
             else:
                 first_of_slot = np.empty(size, dtype=bool)
                 first_of_slot[0] = True
@@ -569,28 +521,28 @@ def _traverse(
                 pushed_below = cumulative.take(seg_last).take(segment_of) - cumulative
                 seg_slots = slots.take(seg_starts)
                 seg_pushes = np.add.reduceat(pushes, seg_starts)
-                position = frontier.stack_tops.take(slots) + pushed_below
+                position = stack_tops.take(slots) + pushed_below
 
-            new_seg_tops = frontier.stack_tops.take(seg_slots) + seg_pushes
+            new_seg_tops = stack_tops.take(seg_slots) + seg_pushes
             required = int(new_seg_tops.max(initial=0))
-            if required > frontier.max_stack:
+            if required > self.max_stack:
                 # The multi-pop window expands several subtrees at once, so
                 # depth-based sizing can be exceeded on densely overlapping
                 # geometry; widen every lane's stack before writing.
-                flat_node, flat_entry = frontier.grow_stack(required + 2 * max_pops)
-            assert required <= frontier.max_stack, "traversal stack overflow"
+                flat_node, flat_entry = self._grow_stack(lanes, required + 2 * self.max_pops)
+            assert required <= self.max_stack, "traversal stack overflow"
             first_sel = np.flatnonzero(pushes)
-            write = slots.take(first_sel) * frontier.max_stack + position.take(first_sel)
+            write = slots.take(first_sel) * self.max_stack + position.take(first_sel)
             flat_node[write] = first_node.take(first_sel)
             flat_entry[write] = first_entry.take(first_sel)
             second_sel = np.flatnonzero(both)
             if len(second_sel):
                 near_node = np.where(left_is_far, right, left)
                 near_entry = np.where(left_is_far, t_right, t_left)
-                write = slots.take(second_sel) * frontier.max_stack + position.take(second_sel) + 1
+                write = slots.take(second_sel) * self.max_stack + position.take(second_sel) + 1
                 flat_node[write] = near_node.take(second_sel)
                 flat_entry[write] = near_entry.take(second_sel)
-            frontier.stack_tops[seg_slots] = new_seg_tops
+            s["stack_tops"][seg_slots] = new_seg_tops
 
             # Leaf children: one merged slot-ordered batch per iteration.
             candidate_mask = np.empty(2 * size, dtype=bool)
@@ -601,25 +553,55 @@ def _traverse(
                 child_pair = np.empty(2 * size, dtype=children.dtype)
                 child_pair[0::2] = left
                 child_pair[1::2] = right
-                intersect_leaves(
+                self._intersect_leaves(
+                    s,
                     np.repeat(slots, 2).take(candidate_sel),
                     child_pair.take(candidate_sel),
                 )
 
-        # Periodic re-compaction keeps the loop dense without paying the
-        # stream-compact overhead on every retirement (an empty stack is
-        # retirement, including any-hit occlusion).
-        dead_count = int(np.count_nonzero(frontier.stack_tops == 0))
-        if dead_count and (
-            dead_count == n_resident
-            or (
-                dead_count >= FRONTIER_COMPACT_MIN
-                and dead_count >= FRONTIER_COMPACT_FRACTION * n_resident
-            )
-        ):
-            flush_and_compact()
+        # An empty stack is retirement (including any-hit occlusion); the
+        # engine flushes and compacts once enough lanes have died.
+        return s["stack_tops"] == 0
 
-    return HitRecord(out_triangle, out_t, out_u, out_v, out_visits)
+
+def _traverse(
+    bvh: BVH,
+    mesh: TriangleMesh,
+    origins: np.ndarray,
+    directions: np.ndarray,
+    t_min: float,
+    t_max: float | np.ndarray,
+    any_hit_mode: bool,
+    dtype: np.dtype | type = np.float64,
+) -> HitRecord:
+    """Shared frontier-engine traversal driver for closest/any-hit queries."""
+    dtype = np.dtype(dtype)
+    origins = np.asarray(origins)
+    directions = np.asarray(directions)
+    n_rays = len(origins)
+
+    # Full-width result arrays; the engine scatters into these as rays retire.
+    outputs = {
+        "best_triangle": np.full(n_rays, -1, dtype=np.int64),
+        "best_t": np.full(n_rays, np.inf),
+        "best_u": np.zeros(n_rays),
+        "best_v": np.zeros(n_rays),
+        "visits": np.zeros(n_rays, dtype=np.int64),
+    }
+    record = HitRecord(
+        outputs["best_triangle"], outputs["best_t"], outputs["best_u"],
+        outputs["best_v"], outputs["visits"],
+    )
+    if n_rays == 0 or bvh.num_nodes == 0:
+        return record
+
+    kernel = _TraversalKernel(bvh, mesh, dtype, t_min, any_hit_mode)
+    limit_t = np.broadcast_to(np.asarray(t_max, dtype=dtype), (n_rays,)).copy()
+    lanes = _frontier_lanes(
+        origins, directions, limit_t, dtype, kernel.initial_stack, kernel.t_min
+    )
+    FrontierEngine().run(kernel, lanes, outputs)
+    return record
 
 
 def closest_hit(

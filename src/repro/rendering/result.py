@@ -15,9 +15,82 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.rendering.framebuffer import Framebuffer
 
-__all__ = ["ObservedFeatures", "RenderResult"]
+__all__ = [
+    "ObservedFeatures",
+    "RenderResult",
+    "PHASE_GROUPS",
+    "PHASE_GROUP_ORDER",
+]
+
+#: Canonical cross-renderer phase groups, in pipeline order.
+PHASE_GROUP_ORDER = ("setup", "sample", "shade", "composite")
+
+#: The standardized phase-name schema: every phase a renderer may report,
+#: mapped to its canonical group.  ``RenderResult`` rejects unregistered
+#: names, so downstream consumers (the in situ mini-app, the compositing
+#: harness, and the modeling corpus) read one schema instead of ad-hoc
+#: per-renderer dictionaries; per-family names stay paper-faithful (the
+#: unstructured renderer still reports Algorithm 2's phases) but roll up
+#: into the same four groups everywhere.
+PHASE_GROUPS = {
+    # acceleration/locator builds and per-frame set-up
+    "bvh_build": "setup",
+    "preprocess": "setup",
+    "initialization": "setup",
+    "ray_setup": "setup",
+    "culling": "setup",
+    "pass_selection": "setup",
+    "screen_space": "setup",
+    "sort": "setup",
+    # the per-sample / per-fragment hot loop
+    "trace": "sample",
+    "sampling": "sample",
+    "rasterize": "sample",
+    "march": "sample",
+    "compaction": "sample",
+    # shading-only stages (surface renderers)
+    "shade_setup": "shade",
+    "shade": "shade",
+    "ambient_occlusion": "shade",
+    "shadows": "shade",
+    "reflections": "shade",
+    # framebuffer accumulation / blending
+    "accumulate": "composite",
+    "compositing": "composite",
+    "fragments": "composite",
+}
+
+
+def _validate_depth_convention(framebuffer: Framebuffer) -> None:
+    """Enforce the one depth convention every renderer family must follow.
+
+    A pixel that received color (alpha > 0) carries a finite, non-negative
+    depth; a miss (alpha == 0) carries ``inf``.  Renderers used to disagree
+    (``np.inf`` vs ``0.0`` for misses), which silently corrupted z-buffer
+    compositing across renderer families.
+    """
+    alpha = framebuffer.rgba[..., 3]
+    depth = framebuffer.depth
+    finite = np.isfinite(depth)
+    covered = alpha > 0.0
+    if np.any(finite & ~covered):
+        raise ValueError(
+            "depth convention violated: finite depth on an uncovered pixel "
+            "(misses must keep depth == inf)"
+        )
+    if np.any(covered & ~finite):
+        raise ValueError(
+            "depth convention violated: covered pixel without a finite depth"
+        )
+    if np.any(finite & (depth < 0.0)):
+        raise ValueError(
+            "depth convention violated: negative depth (clamp behind-camera "
+            "geometry before writing)"
+        )
 
 
 @dataclass
@@ -71,10 +144,31 @@ class RenderResult:
     features: ObservedFeatures = field(default_factory=ObservedFeatures)
     technique: str = ""
 
+    def __post_init__(self) -> None:
+        unknown = sorted(name for name in self.phase_seconds if name not in PHASE_GROUPS)
+        if unknown:
+            raise ValueError(
+                f"unregistered phase names {unknown}; the standardized schema "
+                f"accepts {sorted(PHASE_GROUPS)} (extend PHASE_GROUPS to add one)"
+            )
+        _validate_depth_convention(self.framebuffer)
+
     @property
     def total_seconds(self) -> float:
         """Total rendering time (sum of every phase)."""
         return float(sum(self.phase_seconds.values()))
+
+    def grouped_seconds(self) -> dict[str, float]:
+        """Phase seconds rolled up into the canonical cross-renderer groups.
+
+        Every renderer family reports the same four keys (``setup``,
+        ``sample``, ``shade``, ``composite``), so consumers can compare
+        techniques without knowing per-family phase names.
+        """
+        groups = {group: 0.0 for group in PHASE_GROUP_ORDER}
+        for name, seconds in self.phase_seconds.items():
+            groups[PHASE_GROUPS[name]] += seconds
+        return groups
 
     def seconds_excluding(self, *phases: str) -> float:
         """Total time with the named phases removed.

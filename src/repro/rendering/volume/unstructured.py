@@ -13,13 +13,21 @@ data-parallel primitives exactly as Algorithm 2 of the dissertation describes:
 3. **Sampling** -- for every active tet, visit the (pixel, depth-slot) samples
    inside its screen-space bounding box, run an inside test via barycentric
    coordinates, and write interpolated scalars into the sample buffer.  The
-   sampler consults the per-pixel opacity so fully opaque pixels stop
+   sampler consults the per-pixel *lane residency* so fully opaque pixels stop
    generating work (the analogue of early ray termination).
-4. **Compositing** -- map over the sample buffer front to back, accumulating
-   color and opacity per pixel.
+4. **Compositing** -- map over the resident pixels' sample rows front to back,
+   accumulating color and opacity per pixel.
 
 An initialization step (run once) computes the per-tet depth ranges used by
 pass selection.
+
+Since the frontier refactor the per-pixel accumulation runs on the shared
+:class:`repro.dpp.FrontierEngine`: every pixel is a lane carrying its RGBA
+accumulators, one engine step executes one pass, and a pixel crossing the
+early-termination opacity *retires* -- the engine compacts it out, later
+passes' samplers skip it via the residency mask, and later compositing never
+touches its row.  :meth:`UnstructuredVolumeRenderer.render_reference` keeps
+the pre-frontier full-width loop as a differential reference.
 """
 
 from __future__ import annotations
@@ -28,8 +36,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.dpp.frontier import FrontierEngine, FrontierLanes
 from repro.dpp.instrument import InstrumentationScope
-from repro.dpp.primitives import exclusive_scan, gather, map_field, reduce_field, reverse_index
+from repro.dpp.primitives import (
+    exclusive_scan,
+    gather,
+    map_field,
+    reduce_field,
+    reverse_index,
+    scatter,
+)
 from repro.geometry.mesh import UnstructuredTetMesh
 from repro.geometry.transforms import Camera
 from repro.rendering.framebuffer import Framebuffer
@@ -72,6 +88,89 @@ class UnstructuredVolumeConfig:
             raise ValueError("num_passes must be positive")
         if not 0.0 < self.early_termination_alpha <= 1.0:
             raise ValueError("early_termination_alpha must be in (0, 1]")
+
+
+class _TetPassKernel:
+    """One engine step per sampling pass over the depth-slot range.
+
+    Lanes are pixels; the kernel runs the pass-selection, screen-space, and
+    sampling phases full-width (they are object-order), gathers the resident
+    pixels' sample rows, and composites them into the lane accumulators.
+    Early ray termination is lane retirement: the engine compacts opaque
+    pixels away and the sampler's residency mask stops generating candidate
+    samples for them.
+    """
+
+    output_fields = ("accum_rgb", "accum_alpha")
+
+    def __init__(self, renderer: "UnstructuredVolumeRenderer", camera: Camera, prepared) -> None:
+        self.renderer = renderer
+        self.camera = camera
+        (self.tet_screen_xy, self.tet_slots, self.slot_low, self.slot_high,
+         self.tet_scalars, self.depth_min, self.step_length) = prepared
+        config = renderer.config
+        self.num_pixels = camera.width * camera.height
+        self.total_slots = config.samples_in_depth
+        self.slots_per_pass = int(np.ceil(self.total_slots / config.num_passes))
+        self.pass_index = 0
+        self.phases = {
+            "pass_selection": 0.0,
+            "screen_space": 0.0,
+            "sampling": 0.0,
+            "compositing": 0.0,
+        }
+        self.samples_with_data = 0
+
+    def step(self, lanes: FrontierLanes) -> np.ndarray:
+        renderer = self.renderer
+        config = renderer.config
+        accum_alpha = lanes["accum_alpha"]
+        first_slot = self.pass_index * self.slots_per_pass
+        last_slot = min(first_slot + self.slots_per_pass, self.total_slots)
+        self.pass_index += 1
+        if first_slot >= last_slot:
+            return np.ones(len(lanes), dtype=bool)
+        final_pass = self.pass_index >= config.num_passes or last_slot >= self.total_slots
+
+        with Timer() as timer, InstrumentationScope("volume.pass_selection"):
+            active = renderer._pass_selection(self.slot_low, self.slot_high, first_slot, last_slot)
+        self.phases["pass_selection"] += timer.elapsed
+        if len(active) == 0:
+            done = np.ones(len(lanes), dtype=bool) if final_pass else lanes.retired.copy()
+            return done
+
+        with Timer() as timer, InstrumentationScope("volume.screen_space"):
+            # Screen-space tet vertices: (px, py, depth-slot).
+            active_xy = self.tet_screen_xy[active]
+            active_slots = self.tet_slots[active]
+            vertices = np.concatenate([active_xy, active_slots[..., None]], axis=2)
+            active_scalars = self.tet_scalars[active]
+        self.phases["screen_space"] += timer.elapsed
+
+        with Timer() as timer, InstrumentationScope("volume.sampling"):
+            # Lane residency is the sampler's early-termination mask: only
+            # pixels still resident (and not retired) receive samples.
+            open_mask = np.zeros(self.num_pixels, dtype=bool)
+            open_mask[lanes.lane_ids[~lanes.retired]] = True
+            sample_scalar = np.full((self.num_pixels, last_slot - first_slot), np.nan)
+            renderer._sample_pass(
+                self.camera, vertices, active_scalars, first_slot, last_slot,
+                sample_scalar, open_mask,
+            )
+        self.phases["sampling"] += timer.elapsed
+
+        with Timer() as timer, InstrumentationScope("volume.compositing"):
+            rows = gather(sample_scalar, lanes.lane_ids)
+            self.samples_with_data += int(np.count_nonzero(~np.isnan(rows)))
+            live = ~lanes.retired
+            renderer._composite_rows(
+                rows, lanes["accum_rgb"], accum_alpha, self.step_length, live
+            )
+        self.phases["compositing"] += timer.elapsed
+
+        if final_pass:
+            return np.ones(len(lanes), dtype=bool)
+        return accum_alpha >= config.early_termination_alpha
 
 
 @dataclass
@@ -120,9 +219,68 @@ class UnstructuredVolumeRenderer:
         indices = reverse_index(scanned, flags.astype(bool))
         return gather(np.arange(len(flags), dtype=np.int64), indices)
 
+    def _prepare(self, camera: Camera):
+        """Initialization phase shared by the engine and reference paths."""
+        total_slots = self.config.samples_in_depth
+        tet_screen_xy, tet_depth, corner, depth_min, depth_max = self._initialization(camera)
+        depth_extent = max(depth_max - depth_min, 1e-12)
+        tet_slots = (tet_depth - depth_min) / depth_extent * total_slots
+        slot_low = tet_slots.min(axis=1)
+        slot_high = tet_slots.max(axis=1)
+        scalars = np.asarray(self.mesh.point_fields[self.field_name], dtype=np.float64)
+        tet_scalars = scalars[corner]
+        step_length = depth_extent / total_slots
+        return (tet_screen_xy, tet_slots, slot_low, slot_high, tet_scalars, depth_min, step_length)
+
     # -- main entry point -----------------------------------------------------------------
     def render(self, camera: Camera) -> RenderResult:
-        """Volume render the tetrahedral mesh from ``camera``."""
+        """Volume render the tetrahedral mesh from ``camera`` on the frontier engine."""
+        framebuffer = Framebuffer(camera.width, camera.height)
+        features = ObservedFeatures(objects=self.mesh.num_cells)
+        num_pixels = camera.width * camera.height
+
+        with Timer() as timer, InstrumentationScope("volume.initialization"):
+            prepared = self._prepare(camera)
+        initialization_seconds = timer.elapsed
+
+        kernel = _TetPassKernel(self, camera, prepared)
+        lanes = FrontierLanes(
+            np.arange(num_pixels, dtype=np.int64),
+            {
+                "accum_rgb": np.zeros((num_pixels, 3)),
+                "accum_alpha": np.zeros(num_pixels),
+            },
+        )
+        outputs = {
+            "accum_rgb": np.zeros((num_pixels, 3)),
+            "accum_alpha": np.zeros(num_pixels),
+        }
+        with Timer() as engine_timer, InstrumentationScope("volume.compositing"):
+            FrontierEngine().run(kernel, lanes, outputs)
+        accum_rgb = outputs["accum_rgb"]
+        accum_alpha = outputs["accum_alpha"]
+        phases = {"initialization": initialization_seconds, **kernel.phases}
+        # The engine's flush/compaction work runs between kernel steps, so it
+        # lands in no kernel-timed phase; attribute the residual to
+        # compositing (it is per-pixel accumulator movement).
+        engine_overhead = max(engine_timer.elapsed - sum(kernel.phases.values()), 0.0)
+        phases["compositing"] += engine_overhead
+
+        features.active_pixels = int(np.count_nonzero(accum_alpha > 0.0))
+        features.samples_per_ray = kernel.samples_with_data / max(features.active_pixels, 1)
+        features.cells_spanned = int(round(self.mesh.num_cells ** (1.0 / 3.0)))
+
+        rgba = np.concatenate([accum_rgb, accum_alpha[:, None]], axis=1)
+        written = np.flatnonzero(accum_alpha > 0.0)
+        # Covered pixels report the nearest data depth, clamped at the camera
+        # (behind-camera points must not produce negative layer depths).
+        framebuffer.write_pixels(written, rgba[written], np.full(len(written), max(prepared[5], 0.0)))
+        return RenderResult(framebuffer, phases, features, technique="volume_unstructured")
+
+    def render_reference(self, camera: Camera) -> RenderResult:
+        """Pre-frontier full-width multi-pass loop, kept as the differential
+        reference for the engine path (golden-image tests and the volume
+        throughput benchmark's seed baseline)."""
         config = self.config
         phases = {
             "initialization": 0.0,
@@ -136,20 +294,13 @@ class UnstructuredVolumeRenderer:
         num_pixels = camera.width * camera.height
         total_slots = config.samples_in_depth
 
-        with Timer() as timer, InstrumentationScope("volume.initialization"):
-            tet_screen_xy, tet_depth, corner, depth_min, depth_max = self._initialization(camera)
-            depth_extent = max(depth_max - depth_min, 1e-12)
-            slot_of_depth = lambda d: (d - depth_min) / depth_extent * total_slots
-            tet_slots = slot_of_depth(tet_depth)
-            slot_low = tet_slots.min(axis=1)
-            slot_high = tet_slots.max(axis=1)
-            scalars = np.asarray(self.mesh.point_fields[self.field_name], dtype=np.float64)
-            tet_scalars = scalars[corner]
+        with Timer() as timer:
+            (tet_screen_xy, tet_slots, slot_low, slot_high, tet_scalars,
+             depth_min, step_length) = self._prepare(camera)
         phases["initialization"] = timer.elapsed
 
         accum_rgb = np.zeros((num_pixels, 3))
         accum_alpha = np.zeros(num_pixels)
-        step_length = depth_extent / total_slots
         slots_per_pass = int(np.ceil(total_slots / config.num_passes))
         samples_with_data = 0
         cells_touched_max = 0
@@ -160,13 +311,13 @@ class UnstructuredVolumeRenderer:
             if first_slot >= last_slot:
                 break
 
-            with Timer() as timer, InstrumentationScope("volume.pass_selection"):
+            with Timer() as timer:
                 active = self._pass_selection(slot_low, slot_high, first_slot, last_slot)
             phases["pass_selection"] += timer.elapsed
             if len(active) == 0:
                 continue
 
-            with Timer() as timer, InstrumentationScope("volume.screen_space"):
+            with Timer() as timer:
                 # Screen-space tet vertices: (px, py, depth-slot).
                 active_xy = tet_screen_xy[active]
                 active_slots = tet_slots[active]
@@ -174,18 +325,19 @@ class UnstructuredVolumeRenderer:
                 active_scalars = tet_scalars[active]
             phases["screen_space"] += timer.elapsed
 
-            with Timer() as timer, InstrumentationScope("volume.sampling"):
+            with Timer() as timer:
                 sample_scalar = np.full((num_pixels, last_slot - first_slot), np.nan)
+                open_mask = accum_alpha < config.early_termination_alpha
                 pairs = self._sample_pass(
                     camera, vertices, active_scalars, first_slot, last_slot,
-                    sample_scalar, accum_alpha,
+                    sample_scalar, open_mask,
                 )
                 cells_touched_max = max(cells_touched_max, pairs)
             phases["sampling"] += timer.elapsed
 
-            with Timer() as timer, InstrumentationScope("volume.compositing"):
+            with Timer() as timer:
                 samples_with_data += int(np.count_nonzero(~np.isnan(sample_scalar)))
-                self._composite_pass(sample_scalar, accum_rgb, accum_alpha, step_length)
+                self._composite_rows(sample_scalar, accum_rgb, accum_alpha, step_length, None)
             phases["compositing"] += timer.elapsed
 
         features.active_pixels = int(np.count_nonzero(accum_alpha > 0.0))
@@ -194,7 +346,7 @@ class UnstructuredVolumeRenderer:
 
         rgba = np.concatenate([accum_rgb, accum_alpha[:, None]], axis=1)
         written = np.flatnonzero(accum_alpha > 0.0)
-        framebuffer.write_pixels(written, rgba[written], np.full(len(written), depth_min))
+        framebuffer.write_pixels(written, rgba[written], np.full(len(written), max(depth_min, 0.0)))
         return RenderResult(framebuffer, phases, features, technique="volume_unstructured")
 
     # -- sampling ---------------------------------------------------------------------------
@@ -206,12 +358,16 @@ class UnstructuredVolumeRenderer:
         first_slot: int,
         last_slot: int,
         sample_scalar: np.ndarray,
-        accum_alpha: np.ndarray,
+        open_mask: np.ndarray,
     ) -> int:
-        """Fill the pass's sample buffer; returns the number of candidate samples visited."""
+        """Fill the pass's sample buffer; returns the number of candidate samples visited.
+
+        ``open_mask`` flags the pixels still accepting samples (resident,
+        non-opaque lanes on the engine path; below-threshold pixels on the
+        reference path).
+        """
         config = self.config
         width, height = camera.width, camera.height
-        n_tets = len(vertices)
 
         # Inverse barycentric matrices: columns are the edge vectors from v0.
         v0 = vertices[:, 0]
@@ -250,7 +406,7 @@ class UnstructuredVolumeRenderer:
             chunk = order[start:end]
             visited += self._sample_chunk(
                 chunk, lo_xy, box_w, box_h, lo_slot, box_d, v0, inverse, tet_scalars,
-                first_slot, sample_scalar, accum_alpha, width,
+                first_slot, sample_scalar, open_mask, width,
             )
         return visited
 
@@ -267,7 +423,7 @@ class UnstructuredVolumeRenderer:
         tet_scalars: np.ndarray,
         first_slot: int,
         sample_scalar: np.ndarray,
-        accum_alpha: np.ndarray,
+        open_mask: np.ndarray,
         image_width: int = 0,
     ) -> int:
         """Evaluate the candidate samples of one chunk of tets."""
@@ -289,8 +445,10 @@ class UnstructuredVolumeRenderer:
         slot = lo_slot[tids] + dslot
         pixel_flat = py * image_width + px
 
-        # Skip samples on pixels that are already opaque (early termination).
-        open_pixel = accum_alpha[pixel_flat] < self.config.early_termination_alpha
+        # Skip samples on pixels that are already opaque (early termination);
+        # consulting per-pixel state per candidate pair is a gather, so it
+        # runs through the dpp choke point and is counted as sampling work.
+        open_pixel = gather(open_mask, pixel_flat)
         if not np.any(open_pixel):
             return int(len(pixel_flat))
         tids = tids[open_pixel]
@@ -318,18 +476,31 @@ class UnstructuredVolumeRenderer:
             + barycentric[:, 1] * tet_scalars[tids, 2]
             + barycentric[:, 2] * tet_scalars[tids, 3]
         )
-        sample_scalar[pixel_flat, slot - first_slot] = values
+        # Writing interpolated scalars into the sample buffer is the scatter
+        # of Algorithm 2's sampling phase (last write wins within a chunk).
+        slots_per_row = sample_scalar.shape[1]
+        scatter(
+            values,
+            pixel_flat * slots_per_row + (slot - first_slot),
+            sample_scalar.reshape(-1),
+        )
         return int(len(px)) + int(np.count_nonzero(~open_pixel))
 
     # -- compositing ---------------------------------------------------------------------------
-    def _composite_pass(
+    def _composite_rows(
         self,
         sample_scalar: np.ndarray,
         accum_rgb: np.ndarray,
         accum_alpha: np.ndarray,
         step_length: float,
+        live: np.ndarray | None,
     ) -> None:
-        """Front-to-back composite this pass's sample buffer into the accumulators."""
+        """Front-to-back composite sample rows into the matching accumulator rows.
+
+        ``live`` masks which rows may update their opacity (engine riders --
+        retired but not yet compacted lanes -- must stay frozen); ``None``
+        updates every row (the reference path's full-width behavior).
+        """
         tf = self.transfer_function
         has_sample = ~np.isnan(sample_scalar)
         if not np.any(has_sample):
@@ -341,4 +512,12 @@ class UnstructuredVolumeRenderer:
         leading = np.concatenate([np.ones((len(alpha), 1)), transparency[:, :-1]], axis=1)
         weights = (1.0 - accum_alpha)[:, None] * leading * alpha
         accum_rgb += np.einsum("ij,ijk->ik", weights, rgb)
-        accum_alpha[:] = 1.0 - (1.0 - accum_alpha) * transparency[:, -1]
+        merged = 1.0 - (1.0 - accum_alpha) * transparency[:, -1]
+        if live is None:
+            accum_alpha[:] = merged
+        else:
+            accum_alpha[:] = np.where(live, merged, accum_alpha)
+
+    def visibility_depth(self, camera: Camera) -> float:
+        """Distance from the camera to the mesh center (for visibility ordering)."""
+        return camera.visibility_distance(self.mesh.bounds)

@@ -1,0 +1,319 @@
+"""Tests for the frontier kernel engine and its volume-renderer clients.
+
+The engine itself is exercised with a toy kernel on both devices; the
+structured and unstructured volume renderers are verified *golden-image
+style* against the pre-refactor monolithic loops they keep in-tree as
+``render_reference`` (the volume analogue of the ray tracer's differential
+testing against ``brute_force_closest_hit``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dpp import FrontierEngine, FrontierLanes, use_device
+from repro.dpp.instrument import get_instrumentation, reset_instrumentation
+from repro.geometry import Camera
+from repro.geometry.aabb import ray_box_intervals, safe_reciprocal
+from repro.rendering import (
+    Rasterizer,
+    RayEmitter,
+    RayTracer,
+    Renderer,
+    RenderResult,
+    Scene,
+    StructuredVolumeConfig,
+    StructuredVolumeRenderer,
+    UnstructuredVolumeConfig,
+    UnstructuredVolumeRenderer,
+)
+from repro.rendering.framebuffer import Framebuffer
+from repro.util.morton import morton_encode_2d
+
+
+@pytest.fixture(autouse=True)
+def _clean_instrumentation():
+    reset_instrumentation()
+    yield
+    reset_instrumentation()
+
+
+class _CountdownKernel:
+    """Toy kernel: each lane counts down from its budget, accumulating steps."""
+
+    output_fields = ("total",)
+
+    def __init__(self):
+        self.compactions = 0
+
+    def on_compact(self, lanes):
+        self.compactions += 1
+
+    def step(self, lanes):
+        live = ~lanes.retired
+        lanes["remaining"][live] -= 1
+        lanes["total"][live] += 1
+        return lanes["remaining"] <= 0
+
+
+class TestFrontierEngine:
+    def _run(self, device=None, compact_min=1):
+        budgets = np.array([1, 4, 2, 7, 3, 1, 5, 2], dtype=np.int64)
+        lanes = FrontierLanes(
+            np.arange(len(budgets), dtype=np.int64),
+            {"remaining": budgets.copy(), "total": np.zeros(len(budgets), dtype=np.int64)},
+        )
+        outputs = {"total": np.zeros(len(budgets), dtype=np.int64)}
+        kernel = _CountdownKernel()
+        engine = FrontierEngine(compact_min=compact_min, device=device)
+        steps = engine.run(kernel, lanes, outputs)
+        return budgets, outputs, steps, kernel
+
+    def test_outputs_scattered_per_lane(self):
+        budgets, outputs, steps, kernel = self._run()
+        assert np.array_equal(outputs["total"], budgets)
+        assert steps == budgets.max()
+        # compact_min=1 forces intermediate compactions, and the hook runs
+        # once up front plus once per compaction that left lanes resident.
+        assert kernel.compactions >= 2
+
+    def test_serial_device_identical(self):
+        _, vec, _, _ = self._run(device="vectorized")
+        _, ser, _, _ = self._run(device="serial")
+        assert np.array_equal(vec["total"], ser["total"])
+
+    def test_missing_output_field_rejected(self):
+        lanes = FrontierLanes(np.arange(2), {"remaining": np.ones(2), "total": np.zeros(2)})
+        with pytest.raises(KeyError):
+            FrontierEngine().run(_CountdownKernel(), lanes, {})
+
+    def test_max_steps_guard(self):
+        class NeverRetires:
+            output_fields = ()
+
+            def step(self, lanes):
+                return np.zeros(len(lanes), dtype=bool)
+
+        lanes = FrontierLanes(np.arange(3), {"x": np.zeros(3)})
+        with pytest.raises(RuntimeError):
+            FrontierEngine(max_steps=5).run(NeverRetires(), lanes, {})
+
+    def test_lane_state_validation(self):
+        with pytest.raises(ValueError):
+            FrontierLanes(np.arange(3), {"bad": np.zeros(2)})
+        with pytest.raises(ValueError):
+            FrontierLanes(np.zeros((2, 2)), {})
+        with pytest.raises(ValueError):
+            FrontierEngine(compact_fraction=1.5)
+        with pytest.raises(ValueError):
+            FrontierEngine(compact_min=0)
+
+
+class TestSharedSlabInterval:
+    def test_safe_reciprocal_keeps_sign(self):
+        # The pre-refactor volume copies mapped tiny negative components to a
+        # positive huge reciprocal, losing the entry/exit plane ordering.
+        recip = safe_reciprocal(np.array([-1e-301, 1e-301, 0.0, -0.0, 2.0]))
+        assert recip[0] < 0 < recip[1]
+        assert recip[2] > 0 and recip[3] > 0
+        assert recip[4] == 0.5
+
+    def test_grazing_ray_interval_regression(self):
+        # A ray outside the box in x, drifting toward it at -1e-301: the old
+        # sign-lossy reciprocal reports the slab as already exited (negative
+        # interval); the sign-correct one reports entry in the far future.
+        origins = np.array([[1.5, -0.5, 0.5]])
+        directions = np.array([[-1e-301, 1e-301, 0.0]])
+        t_near, t_far = ray_box_intervals(origins, directions, np.zeros(3), np.ones(3))
+        assert t_near[0] > 0 and t_far[0] >= t_near[0]
+
+    def test_structured_interval_with_tiny_negative_direction(self, blob_grid):
+        renderer = StructuredVolumeRenderer(blob_grid, "density")
+        bounds = blob_grid.bounds
+        origin = bounds.center + np.array([0.0, 0.0, -bounds.extent[2]])
+        directions = np.array([[-1e-301, 0.0, 1.0], [1e-301, 0.0, 1.0]])
+        origins = np.tile(origin, (2, 1))
+        near, far = renderer._ray_box_interval(origins, directions)
+        # The two grazing rays are mirror images; their spans must agree.
+        assert near[0] == pytest.approx(near[1])
+        assert far[0] == pytest.approx(far[1])
+        assert far[0] > near[0] >= 0.0
+
+    def test_interval_matches_brute_direction(self, blob_grid):
+        renderer = StructuredVolumeRenderer(blob_grid, "density")
+        camera = Camera.framing_bounds(blob_grid.bounds, 16, 16)
+        origins, directions = camera.generate_rays()
+        near, far = renderer._ray_box_interval(origins, directions)
+        hit = far > near
+        assert hit.any() and (~hit).any()
+        assert np.all(near[hit] >= 0.0)
+
+
+class TestGoldenStructured:
+    @pytest.mark.parametrize("zoom", [1.0, 1.6])
+    def test_matches_reference_on_rm_scene(self, small_grid, zoom):
+        camera = Camera.framing_bounds(small_grid.bounds, 48, 48, zoom=zoom)
+        renderer = StructuredVolumeRenderer(small_grid, "density")
+        fast = renderer.render(camera)
+        slow = renderer.render_reference(camera)
+        assert np.allclose(fast.framebuffer.rgba, slow.framebuffer.rgba, atol=1e-10, rtol=0.0)
+        assert np.array_equal(fast.framebuffer.depth, slow.framebuffer.depth)
+        assert fast.features.active_pixels == slow.features.active_pixels
+        assert fast.features.samples_per_ray == pytest.approx(slow.features.samples_per_ray)
+
+    def test_matches_reference_with_aggressive_termination(self, blob_grid):
+        camera = Camera.framing_bounds(blob_grid.bounds, 40, 40, zoom=1.3)
+        config = StructuredVolumeConfig(early_termination_alpha=0.3, sample_chunk=8)
+        renderer = StructuredVolumeRenderer(blob_grid, "density", config=config)
+        fast = renderer.render(camera)
+        slow = renderer.render_reference(camera)
+        assert np.allclose(fast.framebuffer.rgba, slow.framebuffer.rgba, atol=1e-10, rtol=0.0)
+        assert np.array_equal(fast.framebuffer.depth, slow.framebuffer.depth)
+
+    def test_sampling_registers_dpp_traffic(self, blob_grid):
+        camera = Camera.framing_bounds(blob_grid.bounds, 32, 32, zoom=1.2)
+        instrumentation = get_instrumentation()
+        StructuredVolumeRenderer(blob_grid, "density").render(camera)
+        # The slab kernel routes sample classification through map_field and
+        # the engine flush through scatter/stream-compact, so the op-counter
+        # choke point finally observes the volume hot path.
+        assert instrumentation.invocations("volume.sampling") > 0
+        assert instrumentation.elements("volume.sampling") > 0
+        assert instrumentation.bytes_moved("volume.sampling") > 0
+
+    def test_engine_through_serial_device(self, blob_grid):
+        camera = Camera.framing_bounds(blob_grid.bounds, 24, 24, zoom=1.2)
+        renderer = StructuredVolumeRenderer(blob_grid, "density")
+        fast = renderer.render(camera)
+        with use_device("serial"):
+            serial = renderer.render(camera)
+        assert np.allclose(fast.framebuffer.rgba, serial.framebuffer.rgba, atol=0.0)
+        assert np.array_equal(fast.framebuffer.depth, serial.framebuffer.depth)
+
+
+class TestGoldenUnstructured:
+    @pytest.mark.parametrize("passes", [1, 3])
+    def test_matches_reference(self, small_tets, passes):
+        camera = Camera.framing_bounds(small_tets.bounds, 36, 36, zoom=1.2)
+        config = UnstructuredVolumeConfig(samples_in_depth=60, num_passes=passes)
+        renderer = UnstructuredVolumeRenderer(small_tets, "density", config=config)
+        fast = renderer.render(camera)
+        slow = renderer.render_reference(camera)
+        assert np.allclose(fast.framebuffer.rgba, slow.framebuffer.rgba, atol=1e-10, rtol=0.0)
+        assert np.array_equal(fast.framebuffer.depth, slow.framebuffer.depth)
+        assert fast.features.active_pixels == slow.features.active_pixels
+        assert fast.features.samples_per_ray == pytest.approx(slow.features.samples_per_ray)
+
+    def test_early_termination_matches_reference(self, small_tets):
+        camera = Camera.framing_bounds(small_tets.bounds, 32, 32, zoom=1.4)
+        config = UnstructuredVolumeConfig(
+            samples_in_depth=60, num_passes=4, early_termination_alpha=0.2
+        )
+        renderer = UnstructuredVolumeRenderer(small_tets, "density", config=config)
+        fast = renderer.render(camera)
+        slow = renderer.render_reference(camera)
+        assert np.allclose(fast.framebuffer.rgba, slow.framebuffer.rgba, atol=1e-10, rtol=0.0)
+
+    def test_compositing_registers_dpp_traffic(self, small_tets):
+        camera = Camera.framing_bounds(small_tets.bounds, 24, 24, zoom=1.2)
+        instrumentation = get_instrumentation()
+        config = UnstructuredVolumeConfig(samples_in_depth=40, num_passes=2)
+        UnstructuredVolumeRenderer(small_tets, "density", config=config).render(camera)
+        assert instrumentation.elements("volume.sampling") > 0
+        assert instrumentation.elements("volume.compositing") > 0
+
+
+class TestRayEmitter:
+    def test_morton_order_covers_all_pixels(self):
+        camera = Camera(width=16, height=8)
+        pixel_ids, origins, directions = RayEmitter(camera, morton_order=True).emit()
+        assert sorted(pixel_ids.tolist()) == list(range(16 * 8))
+        px = (pixel_ids % 16).astype(np.uint32)
+        py = (pixel_ids // 16).astype(np.uint32)
+        codes = morton_encode_2d(px, py)
+        assert np.all(np.diff(codes) >= 0)
+        assert np.allclose(np.linalg.norm(directions, axis=1), 1.0)
+
+    def test_supersample_emits_four_rays_per_pixel(self):
+        camera = Camera(width=6, height=4)
+        pixel_ids, origins, directions = RayEmitter(camera, supersample=4).emit()
+        assert len(pixel_ids) == 4 * 6 * 4
+        unique, counts = np.unique(pixel_ids, return_counts=True)
+        assert np.all(counts == 4)
+        with pytest.raises(ValueError):
+            RayEmitter(camera, supersample=4).emit(np.array([0, 1]))
+
+    def test_invalid_supersample_rejected(self):
+        with pytest.raises(ValueError):
+            RayEmitter(Camera(), supersample=2)
+
+    def test_emit_clipped_matches_interval_helper(self, blob_grid):
+        camera = Camera.framing_bounds(blob_grid.bounds, 24, 24)
+        pixel_ids, origins, directions, near, far = RayEmitter(camera).emit_clipped(
+            blob_grid.bounds
+        )
+        assert len(pixel_ids) > 0
+        assert np.all(far > near) and np.all(near >= 0.0)
+        all_o, all_d = camera.generate_rays()
+        t_near, t_far = ray_box_intervals(all_o, all_d, blob_grid.bounds.low, blob_grid.bounds.high)
+        expected = np.flatnonzero(t_far > np.maximum(t_near, 0.0))
+        assert np.array_equal(pixel_ids, expected)
+
+
+class TestRendererProtocol:
+    def test_all_families_satisfy_protocol(self, small_scene, blob_grid, small_tets):
+        renderers = [
+            RayTracer(small_scene),
+            Rasterizer(small_scene),
+            StructuredVolumeRenderer(blob_grid, "density"),
+            UnstructuredVolumeRenderer(small_tets, "density"),
+        ]
+        camera = Camera.framing_bounds(blob_grid.bounds, 16, 16)
+        for renderer in renderers:
+            assert isinstance(renderer, Renderer)
+            assert renderer.visibility_depth(camera) > 0.0
+
+    def test_grouped_seconds_covers_every_phase(self, small_scene, small_camera):
+        result = RayTracer(small_scene).render(small_camera)
+        groups = result.grouped_seconds()
+        assert set(groups) == {"setup", "sample", "shade", "composite"}
+        assert sum(groups.values()) == pytest.approx(result.total_seconds)
+
+    def test_features_from_result_one_schema(self, small_scene, blob_grid, small_camera):
+        from repro.modeling.features import features_from_result
+
+        surface = features_from_result(RayTracer(small_scene).render(small_camera))
+        volume = features_from_result(
+            StructuredVolumeRenderer(blob_grid, "density").render(small_camera)
+        )
+        assert set(surface) == set(volume)
+        assert surface["technique"] == "raytrace"
+        assert volume["technique"] == "volume_structured"
+
+
+class TestDepthConvention:
+    def test_finite_depth_on_miss_rejected(self):
+        framebuffer = Framebuffer(4, 4)
+        framebuffer.depth[0, 0] = 0.0  # "0.0 for misses" -- the old bug
+        with pytest.raises(ValueError, match="depth convention"):
+            RenderResult(framebuffer)
+
+    def test_covered_pixel_without_depth_rejected(self):
+        framebuffer = Framebuffer(4, 4)
+        framebuffer.rgba[1, 1] = [1.0, 0.0, 0.0, 1.0]
+        with pytest.raises(ValueError, match="depth convention"):
+            RenderResult(framebuffer)
+
+    def test_unregistered_phase_name_rejected(self):
+        framebuffer = Framebuffer(2, 2)
+        with pytest.raises(ValueError, match="unregistered phase"):
+            RenderResult(framebuffer, phase_seconds={"made_up_phase": 1.0})
+
+    def test_conforming_result_accepted(self):
+        framebuffer = Framebuffer(2, 2)
+        framebuffer.write_pixels(
+            np.array([0]), np.array([[1.0, 0.0, 0.0, 1.0]]), np.array([2.0])
+        )
+        result = RenderResult(framebuffer, phase_seconds={"trace": 0.5, "shade": 0.25})
+        assert result.grouped_seconds()["sample"] == 0.5
