@@ -14,6 +14,10 @@ Covers both hot paths of the frontier kernel engine:
   192^2 over the Table 6 scene pool, verified against (and timed against)
   the pre-refactor monolithic loops each renderer keeps in-tree as
   ``render_reference``.
+* **compositing** -- the run-length sort-last compositing engine at 64-256
+  simulated ranks and 256^2 pixels with all three exchange algorithms
+  (direct-send, binary-swap, radix-k), verified against and timed against
+  the dense per-run drivers kept in-tree as ``composite_reference``.
 
 The record supersedes the ray-tracing-only ``BENCH_raytracer.json`` of PR 1.
 """
@@ -31,6 +35,7 @@ if str(_BENCH_DIR) not in sys.path:  # allow `python -m benchmarks.emit_bench`
 
 import numpy as np
 
+import bench_compositing_throughput as compositing_bench
 import bench_traversal_throughput as raytracer_bench
 import bench_volume_throughput as volume_bench
 
@@ -42,6 +47,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: output directory {output.parent} does not exist", file=sys.stderr)
         return 2
 
+    # Compositing first: its fast-vs-reference ratio is the most
+    # state-sensitive measurement, so take it before the render verifications
+    # and sweeps churn the allocator.
+    print("verifying the run-length compositing engine against composite_reference ...")
+    compositing_bench.verify_compositing_differential()
+    print("measuring compositing throughput ...")
+    compositing_speedups = compositing_bench.measure_reference_speedups()
+    compositing_results = compositing_bench.measure_all()
     print("verifying traversal engine against brute force on every pool scene ...")
     raytracer_bench.verify_pool_differential()
     print("verifying volume engines against the pre-refactor reference loops ...")
@@ -95,6 +108,32 @@ def main(argv: list[str] | None = None) -> int:
                 for key, value in volume_results.items()
             },
         },
+        "compositing": {
+            "scenes": "synthetic sort-last sub-images (Section 5.8 fill), over mode",
+            "units": "seconds per composite at 256^2",
+            "current": {
+                key: round(value["seconds"], 4) for key, value in compositing_results.items()
+            },
+            "speedup_vs_reference_64": {
+                algorithm: round(entry["speedup"], 2)
+                for algorithm, entry in compositing_speedups["per_algorithm"].items()
+            },
+            "aggregate_speedup_vs_reference_64": round(
+                compositing_speedups["aggregate_speedup"], 2
+            ),
+            "detail": {
+                key: {
+                    "tasks": value["tasks"],
+                    "pixels": value["pixels"],
+                    "mpixels_per_s": round(value["mpixels_per_s"], 2),
+                    "bytes_exchanged": value["bytes_exchanged"],
+                    "messages": value["messages"],
+                    "merge_operations": value["merge_operations"],
+                    "average_active_pixels": round(value["average_active_pixels"], 1),
+                }
+                for key, value in compositing_results.items()
+            },
+        },
     }
     output.write_text(json.dumps(record, indent=2) + "\n")
     for section in ("raytracer", "volume"):
@@ -102,6 +141,11 @@ def main(argv: list[str] | None = None) -> int:
         for key, value in record[section]["current"].items():
             speedup = record[section]["speedup_vs_seed"][key]
             print(f"  {key:24s} {value:8.4f} Mrays/s  ({speedup}x seed)")
+    print("[compositing]")
+    for key, value in record["compositing"]["current"].items():
+        print(f"  {key:24s} {value:8.4f} s/composite")
+    aggregate = record["compositing"]["aggregate_speedup_vs_reference_64"]
+    print(f"  aggregate speedup vs composite_reference at 64 ranks: {aggregate}x")
     print(f"wrote {output}")
     return 0
 

@@ -67,10 +67,12 @@ def main() -> None:
         composite = compositor.composite(framebuffers, mode="depth")
         per_frame_seconds.append(local_seconds + composite.total_seconds)
         path = write_ppm(f"image_database_{angle_index:03d}.ppm", composite.framebuffer)
+        active_fraction = composite.average_active_pixels / composite.num_pixels
         print(
             f"angle {angle_index}: slowest rank {local_seconds:.3f}s, "
             f"compositing {composite.total_seconds * 1e3:.2f}ms "
-            f"({composite.bytes_exchanged / 1e6:.1f} MB exchanged) -> {path}"
+            f"({composite.bytes_exchanged / 1e6:.1f} MB exchanged, "
+            f"avg(AP) {active_fraction:.0%} of pixels run-length compressed) -> {path}"
         )
 
     print(f"\nmeasured mean frame cost: {np.mean(per_frame_seconds):.3f}s "

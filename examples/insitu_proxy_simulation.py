@@ -110,6 +110,7 @@ def run_in_situ(name: str, simulation, describe, renderer: str) -> None:
         f"{name:<11} {CYCLES} cycles: "
         f"sim {simulation.total_step_seconds:.3f}s, "
         f"vis {sum(r.total_seconds for r in strawman.history) if strawman.history else record.total_seconds:.3f}s, "
+        f"compositing {sum(r.bytes_exchanged for r in strawman.history) / 1e6:.2f} MB exchanged, "
         f"last image {record.saved_files[-1]}"
     )
 

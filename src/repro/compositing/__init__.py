@@ -17,5 +17,15 @@ Two merge modes are supported:
 
 from repro.compositing.compositor import CompositeResult, Compositor
 from repro.compositing.image import SubImage, composite_pixels
+from repro.compositing.reference import composite_reference
+from repro.compositing.runimage import RunImage, run_image_from_framebuffer
 
-__all__ = ["CompositeResult", "Compositor", "SubImage", "composite_pixels"]
+__all__ = [
+    "CompositeResult",
+    "Compositor",
+    "RunImage",
+    "SubImage",
+    "composite_pixels",
+    "composite_reference",
+    "run_image_from_framebuffer",
+]

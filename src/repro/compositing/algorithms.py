@@ -1,4 +1,4 @@
-"""The three sort-last compositing exchange algorithms.
+"""The three sort-last exchange algorithms over run-length sub-images.
 
 * :func:`direct_send` -- every rank is assigned one contiguous run of pixels
   and receives that run from every other rank in a single exchange round
@@ -10,28 +10,30 @@
   the paper's experiments: the task count is factored into radices and each
   round performs a k-way exchange within groups of k ranks.
 
-All three functions are *drivers*: they move pixel runs between simulated
-ranks through the :class:`~repro.runtime.communicator.SimulatedCommunicator`
-(so traffic is accounted per round) and perform the actual pixel merges with
-:func:`repro.compositing.image.composite_pixels`.  They return the fully
-composited image assembled at rank 0 plus the number of merge operations
-performed (a work measure used in tests).
+This is the *fast* data path: per-rank images are
+:class:`~repro.compositing.runimage.RunImage` (contiguous active-pixel runs
+with an SoA payload), a round's traffic is posted as one batched array-valued
+:meth:`~repro.runtime.communicator.SimulatedCommunicator.exchange`, and a
+round's merges resolve in one :func:`~repro.compositing.merge.merge_groups`
+call -- O(rounds) array operations instead of O(pixels · pieces) Python work.
+The communication pattern (who sends which run to whom, and where the round
+boundaries fall) is identical to the dense reference drivers in
+:mod:`repro.compositing.reference`, which the differential tests hold this
+module to within 1e-10.
 
 Ordering note: the OVER operator is only associative when every pairwise
-merge combines fragments that are *adjacent and contiguous* in visibility
-order.  The callers therefore hand the algorithms their sub-images already
-sorted by visibility (see :class:`repro.compositing.compositor.Compositor`),
-and every merge loop below folds incoming pieces in ascending rank order, so
-each intermediate fragment always covers a contiguous run of the visibility
-order.  Depth (z-buffer) compositing is commutative, so the same code is
-trivially correct for surface images.
+merge combines fragments that are adjacent and contiguous in visibility
+order.  Callers hand the algorithms their sub-images already sorted by
+visibility (ascending ``RunImage.key``), and every merge folds group pieces
+in ascending key order, exactly as the reference's ``_ordered_fold`` does.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.compositing.image import SubImage, composite_pixels
+from repro.compositing.merge import merge_groups
+from repro.compositing.runimage import RunImage, payload_fragments
 from repro.runtime.communicator import SimulatedCommunicator
 
 __all__ = ["direct_send", "binary_swap", "radix_k", "assemble_at_root", "factor_radices"]
@@ -41,171 +43,6 @@ def _pixel_partition(num_pixels: int, parts: int) -> list[tuple[int, int]]:
     """Split ``[0, num_pixels)`` into ``parts`` near-equal contiguous runs."""
     edges = np.linspace(0, num_pixels, parts + 1).astype(np.int64)
     return [(int(edges[i]), int(edges[i + 1])) for i in range(parts)]
-
-
-def _ordered_fold(pieces: list[tuple[int, np.ndarray, np.ndarray]], mode: str) -> tuple[np.ndarray, np.ndarray, int]:
-    """Composite pixel runs in ascending key order; returns ``(rgba, depth, merges)``.
-
-    ``pieces`` holds ``(order_key, rgba, depth)`` tuples covering the same
-    pixel run.  Folding in ascending key order keeps every intermediate
-    fragment contiguous in visibility order, which makes pairwise OVER exact.
-    """
-    pieces = sorted(pieces, key=lambda item: item[0])
-    _, rgba, depth = pieces[0]
-    merges = 0
-    for _, rgba_next, depth_next in pieces[1:]:
-        rgba, depth = composite_pixels(rgba, depth, rgba_next, depth_next, mode)
-        merges += 1
-    return rgba, depth, merges
-
-
-def assemble_at_root(
-    owned: dict[int, tuple[int, int]],
-    images: list[SubImage],
-    comm: SimulatedCommunicator,
-) -> SubImage:
-    """Gather each rank's owned pixel run at rank 0 and assemble the final image.
-
-    ``owned`` maps rank to its ``(start, stop)`` run within ``images[rank]``.
-    """
-    final = images[0].copy()
-    comm.next_round()
-    for rank, (start, stop) in owned.items():
-        if rank == 0 or start >= stop:
-            continue
-        rgba, depth = images[rank].piece(start, stop)
-        comm.rank(rank).send(0, (rgba, depth, start, stop), tag=7)
-    for rank, (start, stop) in owned.items():
-        if rank == 0 or start >= stop:
-            continue
-        rgba, depth, start, stop = comm.rank(0).recv(rank, tag=7)
-        final.rgba[start:stop] = rgba
-        final.depth[start:stop] = depth
-    return final
-
-
-def direct_send(
-    images: list[SubImage], comm: SimulatedCommunicator, mode: str
-) -> tuple[SubImage, int]:
-    """Direct-send compositing; returns ``(final_image_at_root, merge_operations)``."""
-    size = comm.size
-    if len(images) != size:
-        raise ValueError("need exactly one sub-image per rank")
-    num_pixels = images[0].num_pixels
-    partition = _pixel_partition(num_pixels, size)
-    merges = 0
-
-    # One exchange round: every rank sends every other rank's run to its owner.
-    for source in range(size):
-        for owner in range(size):
-            if owner == source:
-                continue
-            start, stop = partition[owner]
-            if start >= stop:
-                continue
-            rgba, depth = images[source].piece(start, stop)
-            comm.rank(source).send(owner, (rgba, depth), tag=1)
-
-    # Each owner folds the received runs (plus its own) in rank order.
-    for owner in range(size):
-        start, stop = partition[owner]
-        if start >= stop:
-            continue
-        pieces = [(owner, images[owner].rgba[start:stop], images[owner].depth[start:stop])]
-        for source in range(size):
-            if source == owner:
-                continue
-            rgba_in, depth_in = comm.rank(owner).recv(source, tag=1)
-            pieces.append((source, rgba_in, depth_in))
-        rgba, depth, folded = _ordered_fold(pieces, mode)
-        merges += folded
-        images[owner].rgba[start:stop] = rgba
-        images[owner].depth[start:stop] = depth
-
-    owned = {rank: partition[rank] for rank in range(size)}
-    final = assemble_at_root(owned, images, comm)
-    return final, merges
-
-
-def binary_swap(
-    images: list[SubImage], comm: SimulatedCommunicator, mode: str
-) -> tuple[SubImage, int]:
-    """Binary-swap compositing with a pairing fold for non-power-of-two task counts."""
-    size = comm.size
-    if len(images) != size:
-        raise ValueError("need exactly one sub-image per rank")
-    num_pixels = images[0].num_pixels
-    merges = 0
-
-    power = 1
-    while power * 2 <= size:
-        power *= 2
-    extra = size - power
-
-    # Fold phase: the trailing 2*extra ranks are merged pairwise so that the
-    # remaining participants hold contiguous runs of the visibility order.
-    participants = list(range(size - 2 * extra))
-    if extra:
-        pair_ranks = list(range(size - 2 * extra, size))
-        for first, second in zip(pair_ranks[0::2], pair_ranks[1::2]):
-            comm.rank(second).send(first, (images[second].rgba, images[second].depth), tag=2)
-        for first, second in zip(pair_ranks[0::2], pair_ranks[1::2]):
-            rgba_in, depth_in = comm.rank(first).recv(second, tag=2)
-            rgba, depth = composite_pixels(images[first].rgba, images[first].depth, rgba_in, depth_in, mode)
-            images[first].rgba, images[first].depth = rgba, depth
-            merges += 1
-            participants.append(first)
-        comm.next_round()
-    assert len(participants) == power
-
-    # Swap rounds over participant indices (participants are visibility-ordered).
-    owned = {index: (0, num_pixels) for index in range(power)}
-    rounds = int(np.log2(power)) if power > 1 else 0
-    for round_index in range(rounds):
-        bit = 1 << round_index
-        for index in range(power):
-            partner = index ^ bit
-            start, stop = owned[index]
-            middle = (start + stop) // 2
-            keep_first = index < partner
-            send_range = (middle, stop) if keep_first else (start, middle)
-            rgba, depth = images[participants[index]].piece(*send_range)
-            comm.rank(participants[index]).send(
-                participants[partner], (rgba, depth, send_range[0], send_range[1]), tag=3
-            )
-        for index in range(power):
-            partner = index ^ bit
-            start, stop = owned[index]
-            middle = (start + stop) // 2
-            keep_first = index < partner
-            keep_range = (start, middle) if keep_first else (middle, stop)
-            rank = participants[index]
-            rgba_in, depth_in, in_start, in_stop = comm.rank(rank).recv(participants[partner], tag=3)
-            if in_stop > in_start:
-                pieces = [
-                    (index, images[rank].rgba[in_start:in_stop], images[rank].depth[in_start:in_stop]),
-                    (partner, rgba_in, depth_in),
-                ]
-                rgba, depth, folded = _ordered_fold(pieces, mode)
-                merges += folded
-                images[rank].rgba[in_start:in_stop] = rgba
-                images[rank].depth[in_start:in_stop] = depth
-            owned[index] = keep_range
-        comm.next_round()
-
-    owned_by_rank = {participants[index]: owned[index] for index in range(power)}
-    # Rank 0 is always a participant (index 0), so assembly at rank 0 is valid.
-    final = assemble_at_root(owned_by_rank, images, comm)
-    return final, merges
-
-
-def _mixed_radix_digits(rank: int, radices: list[int]) -> list[int]:
-    """Digits of ``rank`` in the mixed-radix system defined by ``radices``."""
-    digits = []
-    for radix in radices:
-        digits.append(rank % radix)
-        rank //= radix
-    return digits
 
 
 def factor_radices(size: int, target: int = 4) -> list[int]:
@@ -225,17 +62,213 @@ def factor_radices(size: int, target: int = 4) -> list[int]:
     return radices or [1]
 
 
+def _mixed_radix_digits(rank: int, radices: list[int]) -> list[int]:
+    """Digits of ``rank`` in the mixed-radix system defined by ``radices``."""
+    digits = []
+    for radix in radices:
+        digits.append(rank % radix)
+        rank //= radix
+    return digits
+
+
+def _replace_image(template: RunImage, merged: tuple[np.ndarray, np.ndarray, np.ndarray]) -> RunImage:
+    """A new :class:`RunImage` holding ``merged`` fragments, keeping shape and key."""
+    pixels, rgba, depth = merged
+    return RunImage.from_arrays(pixels, rgba, depth, template.width, template.height, key=template.key)
+
+
+def _with_depth(mode: str) -> bool:
+    """Over-mode wire payloads drop the depth plane (the scalar key stands in)."""
+    return mode == "depth"
+
+
+def assemble_at_root(
+    owned: dict[int, tuple[int, int]],
+    images: list[RunImage],
+    comm: SimulatedCommunicator,
+    mode: str,
+) -> RunImage:
+    """Gather each rank's owned run at rank 0 and assemble the final run image.
+
+    ``owned`` maps rank to its ``(start, stop)`` interval; the intervals tile
+    ``[0, num_pixels)``, so concatenating the pieces (sorted by pixel) yields
+    the complete composited image.
+    """
+    comm.next_round()
+    sends = []
+    for rank, (start, stop) in sorted(owned.items()):
+        if rank == 0 or start >= stop:
+            continue
+        payload, nbytes = images[rank].piece_message(start, stop, with_depth=_with_depth(mode))
+        sends.append((rank, 0, payload, nbytes))
+    delivered = comm.exchange(sends)
+
+    start, stop = owned.get(0, (0, 0))
+    pieces = [images[0].fragments(start, stop)] if stop > start else []
+    for _, payload in delivered.get(0, []):
+        pixels, rgba, depth, _ = payload_fragments(payload)
+        pieces.append((pixels, rgba, depth))
+    pieces = [piece for piece in pieces if len(piece[0])]
+    if not pieces:
+        empty = np.empty(0, dtype=np.int64)
+        return RunImage.from_arrays(empty, np.empty((0, 4)), np.empty(0), images[0].width, images[0].height)
+    all_pixels = np.concatenate([piece[0] for piece in pieces])
+    order = np.argsort(all_pixels, kind="stable")  # owned intervals are disjoint
+    if mode == "depth":
+        depth = np.concatenate([piece[2] for piece in pieces])[order]
+    else:
+        depth = np.zeros(len(all_pixels))  # over-mode depth lives in the keys
+    return RunImage.from_arrays(
+        all_pixels[order],
+        np.concatenate([piece[1] for piece in pieces])[order],
+        depth,
+        images[0].width,
+        images[0].height,
+    )
+
+
+def direct_send(
+    images: list[RunImage], comm: SimulatedCommunicator, mode: str
+) -> tuple[RunImage, int]:
+    """Direct-send compositing; returns ``(final_image_at_root, merge_operations)``."""
+    size = comm.size
+    if len(images) != size:
+        raise ValueError("need exactly one sub-image per rank")
+    num_pixels = images[0].num_pixels
+    partition = _pixel_partition(num_pixels, size)
+
+    # One exchange round: every rank sends every other rank's run to its owner.
+    edges = np.array([start for start, _ in partition] + [num_pixels], dtype=np.int64)
+    sends = []
+    for source in range(size):
+        messages = images[source].piece_table(edges, with_depth=_with_depth(mode))
+        for owner in range(size):
+            if owner == source:
+                continue
+            start, stop = partition[owner]
+            if start >= stop:
+                continue
+            payload, nbytes = messages[owner]
+            sends.append((source, owner, payload, nbytes))
+    delivered = comm.exchange(sends)
+
+    # Every owner's fold resolves in one batched merge across all owners.
+    groups = []
+    for owner in range(size):
+        start, stop = partition[owner]
+        if start >= stop:
+            continue
+        own_pixels, own_rgba, own_depth = images[owner].fragments(start, stop)
+        fragment_sets = [(owner, own_pixels, own_rgba, own_depth)]
+        for source, payload in delivered.get(owner, []):
+            pixels, rgba, depth, _ = payload_fragments(payload)
+            fragment_sets.append((source, pixels, rgba, depth))
+        groups.append((owner, fragment_sets))
+    resolved, merges = merge_groups(groups, num_pixels, mode)
+    for owner, _ in groups:
+        images[owner] = _replace_image(images[owner], resolved[owner])
+
+    owned = {rank: partition[rank] for rank in range(size)}
+    final = assemble_at_root(owned, images, comm, mode)
+    return final, merges
+
+
+def binary_swap(
+    images: list[RunImage], comm: SimulatedCommunicator, mode: str
+) -> tuple[RunImage, int]:
+    """Binary-swap compositing with a pairing fold for non-power-of-two task counts."""
+    size = comm.size
+    if len(images) != size:
+        raise ValueError("need exactly one sub-image per rank")
+    num_pixels = images[0].num_pixels
+    merges = 0
+
+    power = 1
+    while power * 2 <= size:
+        power *= 2
+    extra = size - power
+
+    # Fold phase: the trailing 2*extra ranks are merged pairwise so that the
+    # remaining participants hold contiguous runs of the visibility order.
+    participants = list(range(size - 2 * extra))
+    if extra:
+        pair_ranks = list(range(size - 2 * extra, size))
+        pairs = list(zip(pair_ranks[0::2], pair_ranks[1::2]))
+        sends = []
+        for first, second in pairs:
+            payload, nbytes = images[second].piece_message(0, num_pixels, with_depth=_with_depth(mode))
+            sends.append((second, first, payload, nbytes))
+        delivered = comm.exchange(sends)
+        groups = []
+        for first, second in pairs:
+            own_pixels, own_rgba, own_depth = images[first].fragments(0, num_pixels)
+            _, payload = delivered[first][0]
+            pixels, rgba, depth, _ = payload_fragments(payload)
+            groups.append((first, [(first, own_pixels, own_rgba, own_depth), (second, pixels, rgba, depth)]))
+            participants.append(first)
+        resolved, folded = merge_groups(groups, num_pixels, mode)
+        merges += folded
+        for first, _ in groups:
+            images[first] = _replace_image(images[first], resolved[first])
+        comm.next_round()
+    assert len(participants) == power
+
+    # Swap rounds over participant indices (participants are visibility-ordered).
+    owned = {index: (0, num_pixels) for index in range(power)}
+    rounds = int(np.log2(power)) if power > 1 else 0
+    for round_index in range(rounds):
+        bit = 1 << round_index
+        sends = []
+        for index in range(power):
+            partner = index ^ bit
+            start, stop = owned[index]
+            middle = (start + stop) // 2
+            keep_first = index < partner
+            send_range = (middle, stop) if keep_first else (start, middle)
+            payload, nbytes = images[participants[index]].piece_message(
+                *send_range, with_depth=_with_depth(mode)
+            )
+            sends.append((participants[index], participants[partner], payload, nbytes))
+        delivered = comm.exchange(sends)
+        groups = []
+        for index in range(power):
+            partner = index ^ bit
+            start, stop = owned[index]
+            middle = (start + stop) // 2
+            keep_first = index < partner
+            keep_range = (start, middle) if keep_first else (middle, stop)
+            rank = participants[index]
+            _, payload = delivered[rank][0]
+            pixels, rgba, depth, _ = payload_fragments(payload)
+            own_pixels, own_rgba, own_depth = images[rank].fragments(*keep_range)
+            groups.append(
+                (index, [(index, own_pixels, own_rgba, own_depth), (partner, pixels, rgba, depth)])
+            )
+            owned[index] = keep_range
+        resolved, folded = merge_groups(groups, num_pixels, mode)
+        merges += folded
+        for index, _ in groups:
+            rank = participants[index]
+            images[rank] = _replace_image(images[rank], resolved[index])
+        comm.next_round()
+
+    owned_by_rank = {participants[index]: owned[index] for index in range(power)}
+    # Rank 0 is always a participant (index 0), so assembly at rank 0 is valid.
+    final = assemble_at_root(owned_by_rank, images, comm, mode)
+    return final, merges
+
+
 def radix_k(
-    images: list[SubImage],
+    images: list[RunImage],
     comm: SimulatedCommunicator,
     mode: str,
     radices: list[int] | None = None,
-) -> tuple[SubImage, int]:
+) -> tuple[RunImage, int]:
     """Radix-k compositing; ``radices`` defaults to a factorisation of the task count.
 
     The mixed-radix digit layout keeps every exchange group contiguous in the
-    (visibility-ordered) rank numbering, so ordered folding of group pieces
-    preserves OVER correctness.
+    (visibility-ordered) rank numbering, so folding group pieces in digit
+    order preserves OVER correctness.
     """
     size = comm.size
     if len(images) != size:
@@ -252,44 +285,44 @@ def radix_k(
     digits = {rank: _mixed_radix_digits(rank, radices) for rank in range(size)}
     stride = 1
     for round_index, radix in enumerate(radices):
+        pieces_of = {}
+        for rank in range(size):
+            start, stop = owned[rank]
+            pieces = _pixel_partition(stop - start, radix)
+            pieces_of[rank] = [(start + a, start + b) for a, b in pieces]
         # Exchange phase: every rank sends each group partner its piece.
+        sends = []
         for rank in range(size):
             my_digit = digits[rank][round_index]
-            start, stop = owned[rank]
-            pieces = _pixel_partition(stop - start, radix)
-            pieces = [(start + a, start + b) for a, b in pieces]
+            rank_edges = np.array(
+                [start for start, _ in pieces_of[rank]] + [pieces_of[rank][-1][1]], dtype=np.int64
+            )
+            messages = images[rank].piece_table(rank_edges, with_depth=_with_depth(mode))
             for member_digit in range(radix):
                 if member_digit == my_digit:
                     continue
                 partner = rank + (member_digit - my_digit) * stride
-                send_start, send_stop = pieces[member_digit]
-                rgba, depth = images[rank].piece(send_start, send_stop)
-                comm.rank(rank).send(partner, (rgba, depth, send_start, send_stop, my_digit), tag=4)
-        # Merge phase: fold the group's pieces in digit order.
+                payload, nbytes = messages[member_digit]
+                sends.append((rank, partner, payload, nbytes))
+        delivered = comm.exchange(sends)
+        # Merge phase: every group's digit-ordered fold in one batched merge.
+        groups = []
         for rank in range(size):
             my_digit = digits[rank][round_index]
-            start, stop = owned[rank]
-            pieces = _pixel_partition(stop - start, radix)
-            pieces = [(start + a, start + b) for a, b in pieces]
-            keep_start, keep_stop = pieces[my_digit]
-            incoming = [
-                (my_digit, images[rank].rgba[keep_start:keep_stop], images[rank].depth[keep_start:keep_stop])
-            ]
-            for member_digit in range(radix):
-                if member_digit == my_digit:
-                    continue
-                partner = rank + (member_digit - my_digit) * stride
-                rgba_in, depth_in, in_start, in_stop, sender_digit = comm.rank(rank).recv(partner, tag=4)
-                if in_stop > in_start:
-                    incoming.append((sender_digit, rgba_in, depth_in))
-            if keep_stop > keep_start and len(incoming) > 1:
-                rgba, depth, folded = _ordered_fold(incoming, mode)
-                merges += folded
-                images[rank].rgba[keep_start:keep_stop] = rgba
-                images[rank].depth[keep_start:keep_stop] = depth
+            keep_start, keep_stop = pieces_of[rank][my_digit]
+            own_pixels, own_rgba, own_depth = images[rank].fragments(keep_start, keep_stop)
+            fragment_sets = [(my_digit, own_pixels, own_rgba, own_depth)]
+            for source, payload in delivered.get(rank, []):
+                pixels, rgba, depth, _ = payload_fragments(payload)
+                fragment_sets.append((digits[source][round_index], pixels, rgba, depth))
+            groups.append((rank, fragment_sets))
             owned[rank] = (keep_start, keep_stop)
+        resolved, folded = merge_groups(groups, num_pixels, mode)
+        merges += folded
+        for rank, _ in groups:
+            images[rank] = _replace_image(images[rank], resolved[rank])
         comm.next_round()
         stride *= radix
 
-    final = assemble_at_root(owned, images, comm)
+    final = assemble_at_root(owned, images, comm, mode)
     return final, merges

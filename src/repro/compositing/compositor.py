@@ -5,6 +5,23 @@ renders, runs one of the exchange algorithms over a simulated communicator,
 and reports both the measured local blending time and the modeled network
 time.  The sum of the two is the ``T_COMP`` quantity of the multi-node
 performance model (Section 5.6).
+
+Two interchangeable engines execute the exchange:
+
+* ``"runlength"`` (default) -- the fast data path: per-rank images are
+  compacted to :class:`~repro.compositing.runimage.RunImage` run-length
+  sub-images, rounds exchange array-valued payloads in one batched
+  :meth:`~repro.runtime.communicator.SimulatedCommunicator.exchange`, and
+  merges resolve through the batched dpp kernels of
+  :mod:`repro.compositing.merge`.
+* ``"reference"`` -- the original dense per-run Python drivers
+  (:mod:`repro.compositing.reference`), kept as the differential-testing
+  oracle; the fast engine must match it within 1e-10 on every algorithm,
+  mode, and rank count.
+
+Both engines assume the sort-last invariant that every rank renders over the
+same background color, which is what the final image shows wherever no rank
+contributed.
 """
 
 from __future__ import annotations
@@ -14,7 +31,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.compositing.algorithms import binary_swap, direct_send, radix_k
-from repro.compositing.image import SubImage, from_framebuffer
+from repro.compositing.image import from_framebuffer
+from repro.compositing.reference import composite_reference
+from repro.compositing.runimage import RunImage, active_mask, run_image_from_framebuffer
+from repro.dpp.primitives import scatter
 from repro.rendering.framebuffer import Framebuffer
 from repro.runtime.communicator import NetworkModel, SimulatedCommunicator
 from repro.util.timing import Timer
@@ -26,6 +46,8 @@ _ALGORITHMS = {
     "binary-swap": binary_swap,
     "radix-k": radix_k,
 }
+
+_ENGINES = ("runlength", "reference")
 
 
 @dataclass
@@ -42,12 +64,19 @@ class CompositeResult:
         Network-model estimate of the exchange time (critical path over
         rounds).
     bytes_exchanged, messages:
-        Total simulated traffic.
+        Total simulated traffic.  The run-length engine exchanges compressed
+        (active-pixel) payloads, so its byte counts are lower than the
+        reference engine's dense slabs for the same images.
     merge_operations:
-        Number of pairwise pixel-run merges performed.
+        Equivalent pairwise pixel merges performed.  The run-length engine
+        counts per-pixel fragment folds (fragments minus survivors); the
+        reference engine counts dense run merges -- both measure blending
+        work, at their own granularity.
     average_active_pixels:
         Mean number of active pixels per input sub-image -- the ``avg(AP)``
-        input of the compositing performance model (Eq. 5.5).
+        input of the compositing performance model (Eq. 5.5).  Activity is
+        mode-aware (finite depth for ``"depth"``, positive alpha for
+        ``"over"``), matching the run-length representation.
     """
 
     framebuffer: Framebuffer
@@ -59,6 +88,7 @@ class CompositeResult:
     average_active_pixels: float
     num_tasks: int
     num_pixels: int
+    engine: str = "runlength"
 
     @property
     def total_seconds(self) -> float:
@@ -94,6 +124,7 @@ class Compositor:
         mode: str = "depth",
         visibility_order: list[float] | None = None,
         background: tuple[float, float, float, float] = (1.0, 1.0, 1.0, 0.0),
+        engine: str = "runlength",
     ) -> CompositeResult:
         """Composite one framebuffer per rank into the final image.
 
@@ -106,9 +137,14 @@ class Compositor:
         visibility_order:
             Required for ``"over"``: smaller values composite in front
             (typically each block's distance from the camera).
+        engine:
+            ``"runlength"`` (fast path, default) or ``"reference"`` (dense
+            oracle).
         """
         if not framebuffers:
             raise ValueError("composite requires at least one framebuffer")
+        if engine not in _ENGINES:
+            raise ValueError(f"unknown compositing engine {engine!r}; choose from {_ENGINES}")
         if mode == "over":
             if visibility_order is None:
                 raise ValueError("'over' compositing requires a visibility order")
@@ -119,21 +155,41 @@ class Compositor:
             # algorithms need for exact OVER compositing (IceT does the same
             # by pre-ordering its image layers).
             ranking = np.argsort(np.asarray(visibility_order), kind="stable")
-            sub_images = [
-                from_framebuffer(framebuffers[index], position)
-                for position, index in enumerate(ranking)
-            ]
+            ordered = [framebuffers[index] for index in ranking]
         elif mode == "depth":
-            sub_images = [from_framebuffer(framebuffer) for framebuffer in framebuffers]
+            ordered = list(framebuffers)
         else:
             raise ValueError(f"unknown compositing mode {mode!r}")
 
-        average_active = float(np.mean([image.active_pixels() for image in sub_images]))
-        comm = SimulatedCommunicator(len(sub_images), self.network)
+        comm = SimulatedCommunicator(len(ordered), self.network)
         algorithm = _ALGORITHMS[self.algorithm]
-        with Timer() as timer:
-            final, merges = algorithm([image.copy() for image in sub_images], comm, mode)
-        framebuffer = final.to_framebuffer(background)
+        if engine == "runlength":
+            images = [
+                run_image_from_framebuffer(framebuffer, mode, key=position)
+                for position, framebuffer in enumerate(ordered)
+            ]
+            average_active = float(np.mean([image.active_pixels for image in images]))
+            with Timer() as timer:
+                final, merges = algorithm(images, comm, mode)
+            framebuffer = self._assemble(final, mode, len(ordered), ordered[0].background, background)
+        else:
+            if mode == "over":
+                sub_images = [
+                    from_framebuffer(framebuffer, position)
+                    for position, framebuffer in enumerate(ordered)
+                ]
+            else:
+                sub_images = [from_framebuffer(framebuffer) for framebuffer in ordered]
+            average_active = float(
+                np.mean(
+                    [int(np.count_nonzero(active_mask(fb.rgba, fb.depth, mode))) for fb in ordered]
+                )
+            )
+            with Timer() as timer:
+                dense, merges = composite_reference(
+                    self.algorithm, [image.copy() for image in sub_images], comm, mode
+                )
+            framebuffer = dense.to_framebuffer(background)
         return CompositeResult(
             framebuffer=framebuffer,
             local_seconds=timer.elapsed,
@@ -142,9 +198,43 @@ class Compositor:
             messages=comm.total_messages(),
             merge_operations=merges,
             average_active_pixels=average_active,
-            num_tasks=len(sub_images),
-            num_pixels=sub_images[0].num_pixels,
+            num_tasks=len(ordered),
+            num_pixels=ordered[0].num_pixels,
+            engine=engine,
         )
+
+    @staticmethod
+    def _assemble(
+        final: RunImage,
+        mode: str,
+        num_tasks: int,
+        rank_background: np.ndarray,
+        background: tuple[float, float, float, float],
+    ) -> Framebuffer:
+        """Scatter the composited runs into a dense framebuffer.
+
+        Fill values reproduce the dense reference exactly: ``"depth"`` keeps
+        the (shared) rank background with infinite depth wherever no rank
+        contributed; ``"over"`` blends uncovered pixels of two or more ranks
+        down to transparent black, and its depth plane is the front-most
+        visibility position (0) everywhere.
+        """
+        framebuffer = Framebuffer(final.width, final.height, tuple(float(v) for v in background))
+        rgba = np.empty((final.num_pixels, 4), dtype=np.float64)
+        if mode == "depth":
+            rgba[:] = np.asarray(rank_background, dtype=np.float64)
+            depth = np.full(final.num_pixels, np.inf)
+            if final.active_pixels:
+                scatter(final.rgba, final.pixels, rgba)
+                scatter(final.depth, final.pixels, depth)
+        else:
+            rgba[:] = np.asarray(rank_background, dtype=np.float64) if num_tasks == 1 else 0.0
+            depth = np.zeros(final.num_pixels)
+            if final.active_pixels:
+                scatter(final.rgba, final.pixels, rgba)
+        framebuffer.rgba = rgba.reshape(final.height, final.width, 4)
+        framebuffer.depth = depth.reshape(final.height, final.width)
+        return framebuffer
 
     @staticmethod
     def serial_reference(

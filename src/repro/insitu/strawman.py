@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.compositing import Compositor
+from repro.compositing import CompositeResult, Compositor
 from repro.geometry.aabb import AABB, aabb_union
 from repro.geometry.mesh import (
     Mesh,
@@ -104,12 +104,25 @@ class ExecutionRecord:
     render_seconds: float
     composite_seconds: float
     results: list[RenderResult] = field(default_factory=list)
+    composites: list[CompositeResult] = field(default_factory=list)
     framebuffer: Framebuffer | None = None
     saved_files: list[str] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
         return self.render_seconds + self.composite_seconds
+
+    @property
+    def bytes_exchanged(self) -> float:
+        """Total simulated compositing traffic of the cycle (run-length wire bytes)."""
+        return float(sum(composite.bytes_exchanged for composite in self.composites))
+
+    @property
+    def average_active_pixels(self) -> float:
+        """Mean ``avg(AP)`` (Eq. 5.5) over the cycle's composites."""
+        if not self.composites:
+            return 0.0
+        return float(np.mean([composite.average_active_pixels for composite in self.composites]))
 
 
 class Strawman:
@@ -230,6 +243,7 @@ class Strawman:
                 else:
                     composite = compositor.composite(framebuffers, mode="over", visibility_order=visibility)
             record.composite_seconds += composite_timer.elapsed
+            record.composites.append(composite)
             layer = composite.framebuffer
             final = layer if final is None else layer.depth_composite(final)
         record.framebuffer = final

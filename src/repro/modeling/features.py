@@ -36,6 +36,7 @@ __all__ = [
     "RenderingConfiguration",
     "map_configuration_to_features",
     "features_from_result",
+    "compositing_features_from_result",
     "CAMERA_FILL_FRACTION",
     "SAMPLES_PER_RAY_BASELINE",
 ]
@@ -156,3 +157,21 @@ def features_from_result(result: RenderResult) -> dict[str, float | str]:
     row["t_total"] = result.total_seconds
     row["technique"] = result.technique
     return row
+
+
+def compositing_features_from_result(result) -> "CompositingFeatures":
+    """The Eq. 5.5 model inputs of one parallel composite.
+
+    ``avg(AP)`` comes straight from the compositor's run-length accounting
+    (mean active pixels per sub-image, mode-aware activity), so the
+    compositing corpus consumes exactly the quantity the fast data path
+    compacts and exchanges.  Accepts any object with the
+    :class:`repro.compositing.CompositeResult` accounting fields.
+    """
+    from repro.modeling.models import CompositingFeatures
+
+    return CompositingFeatures(
+        average_active_pixels=float(result.average_active_pixels),
+        pixels=int(result.num_pixels),
+        num_tasks=int(result.num_tasks),
+    )

@@ -114,6 +114,35 @@ class SimulatedCommunicator:
         self._mailboxes[(source, dest, tag)].append(payload)
         self._rounds[-1].record(source, _payload_bytes(payload))
 
+    def exchange(self, sends: Any) -> dict[int, list[tuple[int, Any]]]:
+        """One batched round of array-valued exchanges (the fast compositors' API).
+
+        ``sends`` is an iterable of ``(source, dest, payload)`` or
+        ``(source, dest, payload, wire_bytes)`` tuples, all belonging to the
+        *current* communication round.  Every message is recorded exactly as
+        an individual :meth:`RankCommunicator.send` would be -- same per-rank
+        byte and message counts, so the per-round critical-path accounting of
+        :meth:`estimate_time` is preserved -- but the payloads bypass the
+        per-message mailboxes: the call returns ``{dest: [(source, payload),
+        ...]}`` with each destination's messages in posting order, the way an
+        MPI all-to-all hands a rank its receive buffer in one operation.
+
+        ``wire_bytes`` overrides the payload-size estimate, letting senders
+        charge the network for an encoded wire format (e.g. run-length
+        compressed sub-images) while handing over zero-copy array views.
+        """
+        delivered: dict[int, list[tuple[int, Any]]] = defaultdict(list)
+        for send in sends:
+            source, dest, payload = send[0], send[1], send[2]
+            if not 0 <= source < self.size:
+                raise IndexError(f"source rank {source} out of range")
+            if not 0 <= dest < self.size:
+                raise IndexError(f"destination rank {dest} out of range")
+            nbytes = float(send[3]) if len(send) > 3 else _payload_bytes(payload)
+            self._rounds[-1].record(source, nbytes)
+            delivered[dest].append((source, payload))
+        return dict(delivered)
+
     def _recv(self, source: int, dest: int, tag: int) -> Any:
         queue = self._mailboxes.get((source, dest, tag))
         if not queue:
@@ -140,6 +169,22 @@ class SimulatedCommunicator:
     def estimate_time(self) -> float:
         """Network-model estimate of the communication critical path."""
         return float(sum(log.critical_seconds(self.network) for log in self._rounds))
+
+    def round_totals(self) -> list[dict[int, tuple[float, int]]]:
+        """Per-round ``{rank: (bytes_sent, messages_sent)}`` -- the round log.
+
+        One entry per communication round (including rounds with no traffic),
+        so tests can recompute :meth:`estimate_time` by hand: per round, the
+        critical path is the maximum over ranks of
+        ``NetworkModel.transfer_seconds(bytes, messages)``; rounds sum.
+        """
+        return [
+            {
+                rank: (float(log.bytes_by_rank[rank]), int(log.messages_by_rank[rank]))
+                for rank in log.bytes_by_rank
+            }
+            for log in self._rounds
+        ]
 
     def reset_accounting(self) -> None:
         """Clear traffic logs (mailboxes are left untouched)."""

@@ -77,6 +77,94 @@ class TestCommunicator:
             SimulatedCommunicator(0)
 
 
+class TestCommunicatorAccounting:
+    """estimate_time vs a hand-computed round log, and accounting isolation."""
+
+    def test_estimate_time_matches_hand_computed_round_log(self):
+        latency, bandwidth = 2e-3, 1e6
+        network = NetworkModel(latency_seconds=latency, bandwidth_bytes_per_second=bandwidth)
+        world = SimulatedCommunicator(4, network)
+        # Round 0: rank 0 sends 8000 B in two messages; rank 1 sends 4000 B in one.
+        world.rank(0).send(1, np.zeros(500))   # 4000 B
+        world.rank(0).send(2, np.zeros(500))   # 4000 B
+        world.rank(1).send(3, np.zeros(500))   # 4000 B
+        world.next_round()
+        # Round 1: rank 2 sends 16000 B in one message.
+        world.rank(2).send(0, np.zeros(2000))  # 16000 B
+        world.next_round()
+        # Round 2: empty (contributes nothing).
+        round0 = max(2 * latency + 8000 / bandwidth, latency + 4000 / bandwidth)
+        round1 = latency + 16000 / bandwidth
+        assert world.estimate_time() == pytest.approx(round0 + round1, rel=1e-12)
+        # The public round log exposes exactly the per-rank (bytes, messages)
+        # terms the estimate is built from.
+        totals = world.round_totals()
+        assert len(totals) == 3
+        assert totals[0][0] == (8000.0, 2)
+        assert totals[0][1] == (4000.0, 1)
+        assert totals[1][2] == (16000.0, 1)
+        assert totals[2] == {}
+        recomputed = sum(
+            max(
+                (network.transfer_seconds(nbytes, messages) for nbytes, messages in log.values()),
+                default=0.0,
+            )
+            for log in totals
+        )
+        assert recomputed == pytest.approx(world.estimate_time(), rel=1e-12)
+
+    def test_exchange_records_wire_bytes_and_delivers_in_order(self):
+        network = NetworkModel(latency_seconds=1.0, bandwidth_bytes_per_second=1e9)
+        world = SimulatedCommunicator(3, network)
+        payload = np.zeros(10)
+        delivered = world.exchange(
+            [
+                (0, 2, payload, 123.0),   # explicit wire size overrides the estimate
+                (1, 2, payload),          # falls back to the payload's 80 B
+                (2, 0, payload, 7.0),
+            ]
+        )
+        assert [source for source, _ in delivered[2]] == [0, 1]
+        assert delivered[0][0][0] == 2
+        totals = world.round_totals()[0]
+        assert totals[0] == (123.0, 1)
+        assert totals[1] == (80.0, 1)
+        assert totals[2] == (7.0, 1)
+        with pytest.raises(IndexError):
+            world.exchange([(0, 9, payload)])
+        with pytest.raises(IndexError):
+            world.exchange([(-1, 0, payload)])
+
+    def test_reset_accounting_isolates_composites(self, rng):
+        """Reusing one communicator across composites must not leak traffic."""
+        network = NetworkModel(latency_seconds=1e-4, bandwidth_bytes_per_second=1e9)
+        world = SimulatedCommunicator(2, network)
+        world.rank(0).send(1, np.zeros(1000))
+        world.next_round()
+        first_estimate = world.estimate_time()
+        first_bytes = world.total_bytes()
+        assert first_estimate > 0.0 and first_bytes == 8000.0
+        world.reset_accounting()
+        assert world.estimate_time() == 0.0
+        assert world.total_bytes() == 0.0
+        assert world.total_messages() == 0
+        assert world.round_totals() == [{}]
+        # A second, smaller composite is accounted from scratch.
+        world.rank(1).send(0, np.zeros(10))
+        assert world.total_bytes() == 80.0
+        assert world.estimate_time() == pytest.approx(network.transfer_seconds(80.0, 1), rel=1e-12)
+
+    def test_compositor_runs_are_isolated(self, rng):
+        """Back-to-back composites report identical accounting (fresh comm each)."""
+        framebuffers = _random_framebuffers(rng, 4)
+        compositor = Compositor("binary-swap")
+        first = compositor.composite([fb.copy() for fb in framebuffers], mode="depth")
+        second = compositor.composite([fb.copy() for fb in framebuffers], mode="depth")
+        assert first.bytes_exchanged == second.bytes_exchanged
+        assert first.messages == second.messages
+        assert first.network_seconds == pytest.approx(second.network_seconds, rel=1e-12)
+
+
 class TestDecomposition:
     @given(st.integers(1, 64))
     @settings(max_examples=40, deadline=None)

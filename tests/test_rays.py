@@ -1,0 +1,134 @@
+"""Tests for the shared :class:`repro.rendering.rays.RayEmitter` front-end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.aabb import AABB, ray_box_intervals
+from repro.geometry.transforms import Camera
+from repro.rendering.rays import RayEmitter
+
+
+def _camera(width=16, height=12):
+    return Camera(
+        position=np.array([0.0, 0.0, 4.0]),
+        look_at=np.zeros(3),
+        up=np.array([0.0, 1.0, 0.0]),
+        fov_y_degrees=45.0,
+        width=width,
+        height=height,
+    )
+
+
+class TestOrdering:
+    def test_morton_order_is_a_permutation_of_raster_order(self):
+        camera = _camera()
+        morton_ids, morton_origins, morton_dirs = RayEmitter(camera, morton_order=True).emit()
+        raster_ids, raster_origins, raster_dirs = RayEmitter(camera, morton_order=False).emit()
+        assert np.array_equal(np.sort(morton_ids), np.arange(camera.width * camera.height))
+        assert np.array_equal(raster_ids, np.arange(camera.width * camera.height))
+        # Same rays, different order: re-sorting by pixel id recovers raster.
+        back = np.argsort(morton_ids, kind="stable")
+        assert np.allclose(morton_origins[back], raster_origins)
+        assert np.allclose(morton_dirs[back], raster_dirs)
+
+    def test_morton_order_is_locality_preserving_at_the_start(self):
+        # The first four Morton pixels are the 2x2 block at the origin.
+        camera = _camera(width=8, height=8)
+        pixel_ids, _, _ = RayEmitter(camera, morton_order=True).emit()
+        first_block = {(int(p) % 8, int(p) // 8) for p in pixel_ids[:4]}
+        assert first_block == {(0, 0), (1, 0), (0, 1), (1, 1)}
+
+    def test_explicit_pixel_ids_override_ordering(self):
+        camera = _camera()
+        subset = np.array([5, 3, 40], dtype=np.int64)
+        pixel_ids, origins, directions = RayEmitter(camera, morton_order=True).emit(subset)
+        assert np.array_equal(pixel_ids, subset)
+        assert origins.shape == (3, 3) and directions.shape == (3, 3)
+
+
+class TestSupersampling:
+    def test_four_jittered_rays_per_pixel(self):
+        camera = _camera()
+        pixel_ids, origins, directions = RayEmitter(camera, supersample=4).emit()
+        assert len(pixel_ids) == 4 * camera.width * camera.height
+        counts = np.bincount(pixel_ids, minlength=camera.width * camera.height)
+        assert (counts == 4).all()
+        # Sub-pixel rays of one pixel are distinct (jittered positions).
+        rows = np.flatnonzero(pixel_ids == pixel_ids[0])
+        assert len(np.unique(directions[rows], axis=0)) == 4
+
+    def test_supersample_averaging_recovers_pixel_center_direction(self):
+        """The mean of a pixel's four sub-rays approximates its center ray."""
+        camera = _camera()
+        pixel_ids, _, directions = RayEmitter(camera, supersample=4).emit()
+        _, _, center_dirs = RayEmitter(camera, supersample=1).emit()
+        sums = np.zeros((camera.width * camera.height, 3))
+        np.add.at(sums, pixel_ids, directions)
+        means = sums / 4.0
+        means /= np.linalg.norm(means, axis=1, keepdims=True)
+        # The four sub-pixel directions straddle the center; their normalized
+        # mean lands within a fraction of a pixel's angular footprint.
+        assert np.allclose(means, center_dirs, atol=2e-3)
+
+    def test_supersample_grouping_keeps_pixels_contiguous(self):
+        camera = _camera()
+        pixel_ids, _, _ = RayEmitter(camera, supersample=4).emit()
+        # Each pixel's four rays are adjacent in the stream (per-pixel
+        # averaging consumes them as one segment).
+        boundaries = np.flatnonzero(np.diff(pixel_ids) != 0) + 1
+        segments = np.diff(np.concatenate(([0], boundaries, [len(pixel_ids)])))
+        assert (segments == 4).all()
+
+    def test_supersample_validation(self):
+        with pytest.raises(ValueError):
+            RayEmitter(_camera(), supersample=2)
+        with pytest.raises(ValueError):
+            RayEmitter(_camera(), supersample=4).emit(np.array([0, 1]))
+
+
+class TestBoundsClipping:
+    def test_emit_clipped_matches_manual_slab_test(self):
+        camera = _camera()
+        bounds = AABB(np.array([-0.6, -0.6, -0.6]), np.array([0.6, 0.6, 0.6]))
+        pixel_ids, origins, directions, t_near, t_far = RayEmitter(camera).emit_clipped(bounds)
+        all_ids, all_origins, all_dirs = RayEmitter(camera).emit()
+        near_all, far_all = ray_box_intervals(all_origins, all_dirs, bounds.low, bounds.high)
+        near_all = np.maximum(near_all, 0.0)
+        keep = far_all > near_all
+        assert np.array_equal(pixel_ids, all_ids[keep])
+        assert np.allclose(t_near, near_all[keep])
+        assert np.allclose(t_far, far_all[keep])
+        assert np.allclose(origins, all_origins[keep])
+        assert np.allclose(directions, all_dirs[keep])
+
+    def test_frustum_edge_rays_are_dropped(self):
+        """A box covering a screen corner keeps corner rays and drops the rest."""
+        camera = _camera(width=24, height=24)
+        # Small box far off to one side: only a fraction of rays can hit it.
+        bounds = AABB(np.array([1.2, 1.2, -0.2]), np.array([1.8, 1.8, 0.2]))
+        pixel_ids, _, _, t_near, t_far = RayEmitter(camera).emit_clipped(bounds)
+        assert 0 < len(pixel_ids) < camera.width * camera.height
+        assert (t_far > t_near).all()
+        assert (t_near >= 0.0).all()
+        # The surviving pixels cluster in the image corner the box projects to
+        # (up in +y means smaller row index; +x maps to larger column index).
+        columns = pixel_ids % camera.width
+        rows = pixel_ids // camera.width
+        assert columns.min() >= camera.width // 2
+        assert rows.max() < camera.height // 2
+
+    def test_box_behind_camera_clips_everything(self):
+        camera = _camera()
+        bounds = AABB(np.array([-0.5, -0.5, 8.0]), np.array([0.5, 0.5, 9.0]))
+        pixel_ids, origins, directions, t_near, t_far = RayEmitter(camera).emit_clipped(bounds)
+        assert len(pixel_ids) == 0
+
+    def test_camera_inside_box_keeps_all_rays_from_zero(self):
+        camera = _camera()
+        bounds = AABB(np.array([-10.0, -10.0, -10.0]), np.array([10.0, 10.0, 10.0]))
+        pixel_ids, _, _, t_near, t_far = RayEmitter(camera).emit_clipped(bounds)
+        assert len(pixel_ids) == camera.width * camera.height
+        assert np.all(t_near == 0.0)  # rays start inside the box
+        assert np.all(t_far > 0.0)
