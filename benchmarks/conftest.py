@@ -3,10 +3,21 @@
 The model-fitting benchmarks (Tables 12-17, Figures 11-15) all need the study
 corpus; building it involves dozens of real renders, so it is built once per
 pytest session and reused.
+
+The corpus is built by the sweep engine (:func:`repro.study.run_study`), the
+same pipeline ``python -m repro.study run`` and the CI ``sweep-smoke`` job
+drive.  Two environment variables tune it without touching the benchmarks:
+
+* ``REPRO_STUDY_JOBS``   -- process-pool width (default 1: in-process)
+* ``REPRO_STUDY_CACHE``  -- corpus cache directory; with it set, repeated
+  benchmark sessions skip every unchanged configuration (the cache key
+  includes a digest of the package source, so code changes invalidate it
+  automatically).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -14,14 +25,19 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from repro.modeling.study import StudyConfiguration, StudyHarness
+from repro.modeling.study import StudyConfiguration
+from repro.study import run_study
 
 
 @pytest.fixture(scope="session")
 def study_corpus():
     """The default study corpus (host-measured + synthesized GPU experiments)."""
     config = StudyConfiguration(samples_per_technique=10, seed=2016)
-    return StudyHarness(config).run()
+    return run_study(
+        config,
+        jobs=int(os.environ.get("REPRO_STUDY_JOBS", "1")),
+        cache_dir=os.environ.get("REPRO_STUDY_CACHE") or None,
+    )
 
 
 @pytest.fixture(scope="session")

@@ -34,12 +34,19 @@ from repro.modeling.models import (
     make_model,
 )
 from repro.modeling.regression import LinearRegressionResult, fit_linear_model
-from repro.modeling.study import ExperimentRecord, StudyConfiguration, StudyCorpus, StudyHarness
+from repro.modeling.study import (
+    ExperimentRecord,
+    FailureRecord,
+    StudyConfiguration,
+    StudyCorpus,
+    StudyHarness,
+)
 
 __all__ = [
     "CompositingModel",
     "CrossValidationSummary",
     "ExperimentRecord",
+    "FailureRecord",
     "LinearRegressionResult",
     "RasterizationModel",
     "RayTracingModel",

@@ -56,8 +56,10 @@ SAMPLES_PER_RAY_BASELINE = 373.0
 #: their inside test).
 PIXELS_PER_TRIANGLE_FACTOR = 4.0
 
-#: Techniques recognised by the mapping.
-TECHNIQUES = ("raytrace", "raster", "volume")
+#: Techniques recognised by the mapping.  ``volume_unstructured`` (the
+#: Chapter III tetrahedral renderer) maps exactly like ``volume``: objects are
+#: the task's cells and SPR scales with the sampling depth.
+TECHNIQUES = ("raytrace", "raster", "volume", "volume_unstructured")
 
 
 @dataclass(frozen=True)
@@ -67,7 +69,8 @@ class RenderingConfiguration:
     Attributes
     ----------
     technique:
-        ``"raytrace"``, ``"raster"``, or ``"volume"``.
+        ``"raytrace"``, ``"raster"``, ``"volume"``, or
+        ``"volume_unstructured"``.
     architecture:
         Registered architecture name (``"cpu-host"``, ``"gpu1-k40m"``, ...).
     num_tasks:
@@ -136,7 +139,7 @@ def map_configuration_to_features(config: RenderingConfiguration) -> ObservedFea
         features.pixels_per_triangle = (
             PIXELS_PER_TRIANGLE_FACTOR * features.active_pixels / max(visible, 1)
         )
-    if config.technique == "volume":
+    if config.technique in ("volume", "volume_unstructured"):
         scale = config.samples_in_depth / 1000.0
         features.samples_per_ray = SAMPLES_PER_RAY_BASELINE * scale / task_shrink
     return features

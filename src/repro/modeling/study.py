@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.geometry.transforms import Camera
 from repro.geometry.triangles import external_faces
-from repro.machines.costmodel import KernelCostModel
+from repro.machines.costmodel import synthesize_render_time
 from repro.modeling.models import (
     CompositingFeatures,
     CompositingModel,
@@ -47,6 +47,8 @@ from repro.rendering import (
     Scene,
     StructuredVolumeConfig,
     StructuredVolumeRenderer,
+    UnstructuredVolumeConfig,
+    UnstructuredVolumeRenderer,
     Workload,
 )
 from repro.rendering.framebuffer import Framebuffer
@@ -59,6 +61,7 @@ __all__ = [
     "StudyConfiguration",
     "ExperimentRecord",
     "CompositingRecord",
+    "FailureRecord",
     "StudyCorpus",
     "StudyHarness",
     "get_default_corpus",
@@ -133,6 +136,9 @@ class StudyConfiguration:
     synthetic_samples_in_depth: int = 1000
     max_sampled_ranks: int = 2
     seed: int = 2016
+    compositing_task_counts: tuple[int, ...] = (2, 4, 8, 16, 32, 64)
+    compositing_pixel_sizes: tuple[int, ...] = (64, 96, 128, 192, 256)
+    compositing_algorithms: tuple[str, ...] = ("radix-k",)
 
     def stratified_samples(
         self, rng: np.random.Generator, synthetic: bool = False
@@ -194,9 +200,10 @@ class CompositingRecord:
     pixels: int
     average_active_pixels: float
     seconds: float
+    algorithm: str = "radix-k"
 
     @classmethod
-    def from_result(cls, result, seconds: float) -> "CompositingRecord":
+    def from_result(cls, result, seconds: float, algorithm: str = "radix-k") -> "CompositingRecord":
         """Build a row from a :class:`~repro.compositing.CompositeResult`.
 
         ``avg(AP)`` is threaded through
@@ -212,10 +219,29 @@ class CompositingRecord:
             pixels=features.pixels,
             average_active_pixels=features.average_active_pixels,
             seconds=seconds,
+            algorithm=algorithm,
         )
 
     def features(self) -> CompositingFeatures:
         return CompositingFeatures(self.average_active_pixels, self.pixels, self.num_tasks)
+
+
+@dataclass
+class FailureRecord:
+    """One failed experiment of a sweep (the config, not a corpus row).
+
+    A sweep never dies because one configuration does: the executor isolates
+    crashes, Python exceptions, and per-experiment timeouts, and records them
+    here so ``plan - records == failures`` always holds.  Failure rows carry
+    no measurements and are therefore ignored by every fitting and
+    cross-validation entry point.
+    """
+
+    kind: str  #: ``"render"`` | ``"synthetic"`` | ``"compositing"``
+    reason: str  #: ``"error"`` | ``"timeout"`` | ``"crash"``
+    spec: dict = field(default_factory=dict)  #: config keys of the failed experiment
+    error_type: str = ""
+    message: str = ""
 
 
 @dataclass
@@ -224,6 +250,7 @@ class StudyCorpus:
 
     records: list[ExperimentRecord] = field(default_factory=list)
     compositing_records: list[CompositingRecord] = field(default_factory=list)
+    failures: list[FailureRecord] = field(default_factory=list)
 
     # -- selection ------------------------------------------------------------------
     def select(self, architecture: str | None = None, technique: str | None = None) -> list[ExperimentRecord]:
@@ -319,12 +346,57 @@ class StudyHarness:
         self.config = config or StudyConfiguration()
 
     # -- public entry points -----------------------------------------------------------
-    def run(self, include_compositing: bool = True) -> StudyCorpus:
-        """Run the full sweep and return the gathered corpus.
+    def run(
+        self,
+        include_compositing: bool = True,
+        jobs: int = 1,
+        cache=None,
+        timeout: float | None = None,
+        resume: bool = True,
+        strict: bool = True,
+    ) -> StudyCorpus:
+        """Run the full sweep through the :mod:`repro.study` engine.
 
         ``cpu-host`` experiments render for real at the reduced scale; every
         other architecture gets the same number of experiments at the paper's
         full scale with mapped inputs and synthesized times.
+
+        The harness is a thin client of the sweep engine: the configuration is
+        expanded into a declarative plan (:func:`repro.study.plan.build_plan`)
+        and executed by :func:`repro.study.run_plan` -- in-process when
+        ``jobs == 1``, on a process pool otherwise, optionally resuming from a
+        corpus cache.  :meth:`run_serial` keeps the pre-engine serial loop as
+        the differential oracle.
+
+        With ``strict`` (the default, matching the pre-engine behavior of
+        letting experiment errors propagate) any failure row raises instead of
+        silently shrinking the corpus the models are fitted to; sweep-style
+        callers that want failure isolation pass ``strict=False`` or use
+        :func:`repro.study.run_plan`, which also returns the report.
+        """
+        from repro.study import run_plan
+        from repro.study.plan import build_plan
+
+        plan = build_plan(self.config, include_compositing=include_compositing)
+        corpus, _report = run_plan(plan, jobs=jobs, cache=cache, timeout=timeout, resume=resume)
+        if strict and corpus.failures:
+            details = "; ".join(
+                f"[{f.reason}] {f.kind} {f.error_type}: {f.message}" for f in corpus.failures[:5]
+            )
+            raise RuntimeError(
+                f"{len(corpus.failures)} of {len(plan.specs)} experiments failed "
+                f"(pass strict=False to keep the partial corpus): {details}"
+            )
+        return corpus
+
+    def run_serial(self, include_compositing: bool = True) -> StudyCorpus:
+        """The pre-engine serial sweep, preserved as the differential oracle.
+
+        Executes every experiment in plan order, in this process, without the
+        executor or the cache.  The engine is contractually row-for-row
+        equivalent to this loop (exact config keys, features to 1e-10; host
+        wall-clock timings naturally differ between runs) -- the sweep-engine
+        tests diff the two.
         """
         corpus = StudyCorpus()
         rng = default_rng(self.config.seed, "study")
@@ -372,7 +444,17 @@ class StudyHarness:
             grid = decomposition.block_grid_with_field(rank, "scalar", _SIMULATION_FIELDS[simulation])
             results.append(self._render_block(technique, grid, camera))
 
-        slowest = max(results, key=lambda result: result.total_seconds)
+        # Slowest-task proxy, chosen deterministically: the rank with the
+        # largest observed workload (active pixels, then object count, then
+        # rank order).  Selecting by measured wall-clock would make the
+        # recorded *features* depend on timing jitter, and the corpus would no
+        # longer be reproducible run to run -- the engine's row-for-row parity
+        # with the serial oracle rests on this choice being a pure function of
+        # the configuration.
+        slowest = max(
+            enumerate(results),
+            key=lambda pair: (pair[1].features.active_pixels, pair[1].features.objects, -pair[0]),
+        )[1]
         phases = dict(slowest.phase_seconds)
         build = phases.get("bvh_build", 0.0)
         frame = slowest.total_seconds - build
@@ -399,15 +481,33 @@ class StudyHarness:
         cells_per_task: int,
         image_width: int,
         image_height: int,
+        rng: np.random.Generator | None = None,
     ) -> ExperimentRecord:
         """Synthesize one full-scale experiment for a non-host architecture.
 
         Inputs come from the Section 5.8 mapping (no rendering is needed) and
         per-phase times from :mod:`repro.machines.costmodel` with measurement
         noise, reproducing the corpus the paper gathered on its GPUs.
+
+        The noise stream is derived from the study seed plus every config key
+        of the experiment, never shared between experiments, so the record is
+        a pure function of the configuration -- executing the sweep in any
+        order (or on any process pool) yields bit-identical synthetic rows.
         """
         from repro.modeling.features import RenderingConfiguration, map_configuration_to_features
 
+        if rng is None:
+            rng = default_rng(
+                self.config.seed,
+                "synthetic-experiment",
+                architecture,
+                technique,
+                simulation,
+                num_tasks,
+                cells_per_task,
+                image_width,
+                image_height,
+            )
         configuration = RenderingConfiguration(
             technique=technique,
             architecture=architecture,
@@ -418,9 +518,13 @@ class StudyHarness:
             samples_in_depth=self.config.synthetic_samples_in_depth,
         )
         features = map_configuration_to_features(configuration)
-        cost_model = self._cost_model(architecture)
-        synthetic_technique = {"raytrace": "raytrace", "raster": "raster", "volume": "volume_structured"}[technique]
-        phases = cost_model.phases(synthetic_technique, features)
+        synthetic_technique = {
+            "raytrace": "raytrace",
+            "raster": "raster",
+            "volume": "volume_structured",
+            "volume_unstructured": "volume_unstructured",
+        }[technique]
+        phases = synthesize_render_time(architecture, synthetic_technique, features, rng)
         build = phases.get("bvh_build", 0.0)
         frame = sum(seconds for name, seconds in phases.items() if name != "bvh_build")
         return ExperimentRecord(
@@ -437,14 +541,6 @@ class StudyHarness:
             frame_seconds=frame,
         )
 
-    def _cost_model(self, architecture: str) -> KernelCostModel:
-        """One deterministic cost model per architecture (cached)."""
-        if not hasattr(self, "_cost_models"):
-            self._cost_models: dict[str, KernelCostModel] = {}
-        if architecture not in self._cost_models:
-            self._cost_models[architecture] = KernelCostModel(architecture, seed=self.config.seed)
-        return self._cost_models[architecture]
-
     #: Pixel-blending throughput assumed for the compositing corpus (bytes of
     #: exchanged image data blended per second).  The measured Python blending
     #: time is dominated by interpreter overhead on the reproduction's small
@@ -454,11 +550,36 @@ class StudyHarness:
 
     def run_compositing_sweep(
         self,
-        task_counts: tuple[int, ...] = (2, 4, 8, 16, 32, 64),
-        pixel_sizes: tuple[int, ...] = (64, 96, 128, 192, 256),
-        algorithm: str = "radix-k",
+        task_counts: tuple[int, ...] | None = None,
+        pixel_sizes: tuple[int, ...] | None = None,
+        algorithm: str | None = None,
     ) -> list[CompositingRecord]:
         """Drive the compositor over synthetic sub-images to build the Eq. 5.5 corpus.
+
+        Defaults come from the study configuration
+        (``compositing_task_counts`` x ``compositing_pixel_sizes`` for each of
+        ``compositing_algorithms``); passing ``algorithm`` restricts the sweep
+        to that single exchange algorithm.
+        """
+        config = self.config
+        algorithms = (algorithm,) if algorithm is not None else config.compositing_algorithms
+        task_counts = config.compositing_task_counts if task_counts is None else task_counts
+        pixel_sizes = config.compositing_pixel_sizes if pixel_sizes is None else pixel_sizes
+        return [
+            self.run_compositing_case(name, tasks, size)
+            for name in algorithms
+            for tasks in task_counts
+            for size in pixel_sizes
+        ]
+
+    def run_compositing_case(
+        self,
+        algorithm: str,
+        num_tasks: int,
+        pixel_size: int,
+        rng: np.random.Generator | None = None,
+    ) -> CompositingRecord:
+        """One row of the Eq. 5.5 corpus: composite ``num_tasks`` synthetic sub-images.
 
         Per-rank sub-images are synthesized (a contiguous screen block of
         active pixels per rank whose size follows the Section 5.8 mapping)
@@ -467,25 +588,25 @@ class StudyHarness:
         compositing time combines the simulated-network estimate of the
         exchange (critical path over rounds) with the blending work charged
         at :data:`COMPOSITING_BLEND_BYTES_PER_SECOND`.
+
+        Like the synthetic render experiments, the sub-image stream is seeded
+        per configuration (study seed + algorithm + tasks + size), so the row
+        is a pure function of the configuration regardless of sweep order.
         """
-        rng = default_rng(self.config.seed, "compositing-sweep")
-        records = []
-        for tasks in task_counts:
-            for size in pixel_sizes:
-                framebuffers = self._synthetic_sub_images(tasks, size, size, rng)
-                compositor = Compositor(algorithm)
-                visibility = list(np.arange(tasks, dtype=np.float64))
-                result = compositor.composite(framebuffers, mode="over", visibility_order=visibility)
-                # Blending happens concurrently on every rank, so charge the
-                # per-rank share of the exchanged bytes (the critical path),
-                # not the total.
-                blend_seconds = (
-                    result.bytes_exchanged / max(tasks, 1) / self.COMPOSITING_BLEND_BYTES_PER_SECOND
-                )
-                records.append(
-                    CompositingRecord.from_result(result, seconds=result.network_seconds + blend_seconds)
-                )
-        return records
+        if rng is None:
+            rng = default_rng(self.config.seed, "compositing-sweep", algorithm, num_tasks, pixel_size)
+        framebuffers = self._synthetic_sub_images(num_tasks, pixel_size, pixel_size, rng)
+        compositor = Compositor(algorithm)
+        visibility = list(np.arange(num_tasks, dtype=np.float64))
+        result = compositor.composite(framebuffers, mode="over", visibility_order=visibility)
+        # Blending happens concurrently on every rank, so charge the per-rank
+        # share of the exchanged bytes (the critical path), not the total.
+        blend_seconds = (
+            result.bytes_exchanged / max(num_tasks, 1) / self.COMPOSITING_BLEND_BYTES_PER_SECOND
+        )
+        return CompositingRecord.from_result(
+            result, seconds=result.network_seconds + blend_seconds, algorithm=algorithm
+        )
 
     # -- internals ----------------------------------------------------------------------------
     def _sampled_ranks(self, num_tasks: int) -> list[int]:
@@ -504,6 +625,17 @@ class StudyHarness:
                 tracer = RayTracer(scene, RayTracerConfig(workload=Workload.SHADING))
                 return tracer.render(camera)
             return Rasterizer(scene).render(camera)
+        if technique == "volume_unstructured":
+            from repro.geometry.tetra import tetrahedralize_uniform_grid
+
+            renderer = UnstructuredVolumeRenderer(
+                tetrahedralize_uniform_grid(grid),
+                "scalar",
+                config=UnstructuredVolumeConfig(samples_in_depth=self.config.samples_in_depth),
+            )
+            return renderer.render(camera)
+        if technique != "volume":
+            raise KeyError(f"unknown technique {technique!r}")
         renderer = StructuredVolumeRenderer(
             grid,
             "scalar",

@@ -1,0 +1,90 @@
+"""The study-sweep engine: parallel, cached, resumable experiment execution.
+
+The paper's central artifact is a 1,350-experiment sweep whose slowest-rank
+corpus feeds the Table 12/17 model fits and the Table 13 / Figure 11
+cross-validation.  This package turns that sweep into a production-style
+pipeline:
+
+* :mod:`repro.study.plan` -- declarative matrix expansion of a
+  :class:`~repro.modeling.study.StudyConfiguration` into explicit, cacheable
+  :class:`~repro.study.plan.ExperimentSpec` rows;
+* :mod:`repro.study.executor` -- a process-pool executor with per-experiment
+  timeouts, crash/exception isolation (failure rows instead of dead sweeps),
+  and deterministic row assembly in plan order;
+* :mod:`repro.study.cache` -- a content-addressed on-disk row cache (config
+  identity + code digest) that makes interrupted sweeps resumable and keeps
+  unchanged configurations from ever re-rendering;
+* :mod:`repro.study.corpus_io` -- the row-level JSON schema shared by
+  workers, the cache, and corpus files, plus corpus merging;
+* :mod:`repro.study.cli` -- ``python -m repro.study`` with ``plan`` / ``run
+  --jobs N --resume`` / ``merge`` / ``fit`` subcommands.
+
+:class:`~repro.modeling.study.StudyHarness` is a thin client of this engine
+(and keeps its pre-engine serial loop as the differential oracle); the
+benchmark suite's corpus fixtures run through :func:`run_study` so every
+table/figure benchmark rides the same pipeline CI exercises.
+"""
+
+from repro.study.cache import CorpusCache, cache_key, code_token
+from repro.study.corpus_io import load_corpus, merge_corpora, save_corpus
+from repro.study.executor import (
+    SpecFailure,
+    SweepExecutor,
+    SweepOutcome,
+    SweepReport,
+    execute_spec,
+    run_plan,
+)
+from repro.study.plan import (
+    ExperimentSpec,
+    SweepPlan,
+    build_plan,
+    full_configuration,
+    smoke_configuration,
+)
+
+__all__ = [
+    "CorpusCache",
+    "ExperimentSpec",
+    "SpecFailure",
+    "SweepExecutor",
+    "SweepOutcome",
+    "SweepPlan",
+    "SweepReport",
+    "build_plan",
+    "cache_key",
+    "code_token",
+    "execute_spec",
+    "full_configuration",
+    "load_corpus",
+    "merge_corpora",
+    "run_plan",
+    "run_study",
+    "save_corpus",
+    "smoke_configuration",
+]
+
+
+def run_study(
+    config=None,
+    jobs: int = 1,
+    cache_dir=None,
+    timeout: float | None = None,
+    resume: bool = True,
+    strict: bool = True,
+):
+    """One-call engine entry point: configuration -> corpus.
+
+    The benchmark fixtures and examples use this instead of spelling out
+    plan/execute; ``cache_dir`` (a path) turns on the content-addressed row
+    cache so repeated corpus builds -- e.g. across benchmark sessions -- skip
+    every unchanged configuration.
+
+    ``strict`` (default) raises if any experiment failed, so a corpus consumed
+    by model fits can never silently shrink; pass ``strict=False`` (or use
+    :func:`run_plan`, which also returns the report) for failure isolation.
+    """
+    from repro.modeling.study import StudyConfiguration, StudyHarness
+
+    harness = StudyHarness(config if config is not None else StudyConfiguration())
+    return harness.run(jobs=jobs, cache=cache_dir, timeout=timeout, resume=resume, strict=strict)

@@ -1,0 +1,143 @@
+"""Content-addressed on-disk cache for sweep experiment rows.
+
+Every finished experiment is written to ``<root>/<k[:2]>/<k>.json`` where
+``k`` is a SHA-256 over
+
+* the experiment's full identity (:meth:`ExperimentSpec.key_payload` -- every
+  config key and harness knob, canonically JSON-encoded),
+* a cache schema version, and
+* a *code token*: a digest over the source of the whole ``repro`` package.
+
+The code token is deliberately coarse.  Any change to the renderers, the cost
+model, the mapping, or the engine itself invalidates every entry, because a
+row is only reusable if the code that would recompute it is unchanged; a hash
+of "just the relevant modules" invites silent staleness the first time a
+dependency moves.  Hashing the package costs a few milliseconds once per
+process.
+
+Writes are atomic (temp file + ``os.replace``) so a sweep killed mid-write
+never leaves a truncated entry, and unreadable/corrupt entries read as misses
+-- both are what make ``run --resume`` safe after any interruption.
+
+Failures are never cached: an interrupted or crashed configuration is retried
+on the next run, only successful rows short-circuit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+
+__all__ = ["CACHE_SCHEMA_VERSION", "CorpusCache", "cache_key", "code_token"]
+
+#: Bump when the row payload schema changes shape (invalidates every entry).
+CACHE_SCHEMA_VERSION = 1
+
+
+@lru_cache(maxsize=1)
+def code_token() -> str:
+    """Digest of every ``.py`` file in the installed ``repro`` package."""
+    import repro
+
+    # ``repro`` is a namespace package (no __init__.py), so __file__ is None;
+    # __path__ still names its single source directory.
+    package_root = Path(next(iter(repro.__path__))).resolve()
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def cache_key(spec_payload: dict, token: str | None = None) -> str:
+    """Stable content address of one experiment.
+
+    ``spec_payload`` must be the flat JSON-safe dict of
+    :meth:`ExperimentSpec.key_payload`; canonical encoding (sorted keys, no
+    whitespace variance) makes the key independent of dict ordering.
+    """
+    canonical = json.dumps(spec_payload, sort_keys=True, separators=(",", ":"))
+    material = f"{CACHE_SCHEMA_VERSION}\x1f{token if token is not None else code_token()}\x1f{canonical}"
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class CorpusCache:
+    """Directory-backed store of finished experiment rows, keyed by content.
+
+    The cache is shared-friendly: keys are content addresses, writes are
+    atomic, and readers tolerate concurrent writers (at worst two processes
+    compute the same row and one ``os.replace`` wins with identical content
+    modulo wall-clock timings).
+    """
+
+    def __init__(self, root: str | os.PathLike, token: str | None = None) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._token = token if token is not None else code_token()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ---------------------------------------------------------------------------
+    def key(self, spec_payload: dict) -> str:
+        return cache_key(spec_payload, self._token)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- access -------------------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """The cached row payload, or ``None`` (corrupt entries read as misses)."""
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        payload = entry.get("payload") if isinstance(entry, dict) else None
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict, spec_payload: dict | None = None) -> None:
+        """Atomically persist one finished row."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "schema": CACHE_SCHEMA_VERSION, "payload": payload}
+        if spec_payload is not None:
+            entry["spec"] = spec_payload
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                json.dump(entry, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,234 @@
+"""``python -m repro.study`` -- the sweep pipeline's command-line face.
+
+Subcommands
+-----------
+``plan``
+    Expand the matrix and print (or write) it without running anything.
+``run``
+    Execute the sweep: ``--jobs N`` for the process pool, ``--cache-dir`` to
+    persist rows, ``--resume`` to reuse them, ``--timeout`` per experiment,
+    ``--out`` for the corpus JSON.  ``--require-cached`` exits non-zero if
+    anything had to execute -- CI's "second run is 100% cache hits" gate.
+``merge``
+    Concatenate corpus files (e.g. per-architecture shards).
+``fit``
+    Load a corpus and report the fitted models (Table 12's R^2 view) plus
+    optional cross-validation accuracy rows.
+
+Exit codes: 0 success; 2 argument/usage errors (argparse); 3 a ``run`` with
+``--require-cached`` executed at least one experiment; 4 a ``run`` recorded
+failure rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+
+from repro.modeling.study import StudyConfiguration
+from repro.study.cache import CorpusCache
+from repro.study.corpus_io import load_corpus, merge_corpora, save_corpus
+from repro.study.executor import run_plan
+from repro.study.plan import build_plan, full_configuration, smoke_configuration
+
+__all__ = ["main", "build_parser"]
+
+_PRESETS = {
+    "default": lambda seed: StudyConfiguration(seed=seed),
+    "smoke": smoke_configuration,
+    "full": full_configuration,
+}
+
+
+def _comma_tuple(text: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _comma_ints(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in _comma_tuple(text))
+
+
+def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
+    matrix = parser.add_argument_group("matrix", "override the preset's sweep matrix")
+    matrix.add_argument("--preset", choices=sorted(_PRESETS), default="default")
+    matrix.add_argument("--seed", type=int, default=2016)
+    matrix.add_argument("--samples", type=int, help="stratified samples per technique")
+    matrix.add_argument("--simulations", type=_comma_tuple, help="comma list, e.g. kripke,lulesh")
+    matrix.add_argument(
+        "--techniques",
+        type=_comma_tuple,
+        help="comma list from raytrace,raster,volume,volume_unstructured",
+    )
+    matrix.add_argument("--architectures", type=_comma_tuple, help="comma list, e.g. cpu-host,gpu1-k40m")
+    matrix.add_argument("--task-counts", type=_comma_ints, help="comma list of MPI task counts")
+    matrix.add_argument(
+        "--compositing-algorithms",
+        type=_comma_tuple,
+        help="comma list from direct-send,binary-swap,radix-k",
+    )
+    matrix.add_argument("--no-compositing", action="store_true", help="skip the Eq. 5.5 sweep")
+
+
+def _configuration_from(args: argparse.Namespace) -> StudyConfiguration:
+    config = _PRESETS[args.preset](args.seed)
+    overrides = {}
+    if args.samples is not None:
+        overrides["samples_per_technique"] = args.samples
+    if args.simulations:
+        overrides["simulations"] = args.simulations
+    if args.techniques:
+        overrides["techniques"] = args.techniques
+    if args.architectures:
+        overrides["architectures"] = args.architectures
+    if args.task_counts:
+        overrides["task_counts"] = args.task_counts
+    if args.compositing_algorithms:
+        overrides["compositing_algorithms"] = args.compositing_algorithms
+    return replace(config, **overrides) if overrides else config
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study",
+        description="Parallel, cached, resumable execution of the rendering study sweep.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    plan_parser = commands.add_parser("plan", help="expand the matrix without running it")
+    _add_matrix_arguments(plan_parser)
+    plan_parser.add_argument("--out", help="write the expanded plan as JSON")
+
+    run_parser = commands.add_parser("run", help="execute the sweep")
+    _add_matrix_arguments(run_parser)
+    run_parser.add_argument("--jobs", type=int, default=1, help="worker processes (1 = in-process)")
+    run_parser.add_argument("--timeout", type=float, help="per-experiment timeout in seconds")
+    run_parser.add_argument("--cache-dir", help="content-addressed row cache directory")
+    run_parser.add_argument(
+        "--resume", action="store_true", help="reuse cached rows instead of re-running them"
+    )
+    run_parser.add_argument(
+        "--require-cached",
+        action="store_true",
+        help="exit 3 if any experiment executed (CI resume gate)",
+    )
+    run_parser.add_argument("--out", default="study_corpus.json", help="corpus output path")
+
+    merge_parser = commands.add_parser("merge", help="concatenate corpus files")
+    merge_parser.add_argument("output")
+    merge_parser.add_argument("inputs", nargs="+")
+
+    fit_parser = commands.add_parser("fit", help="fit the models to a corpus file")
+    fit_parser.add_argument("corpus")
+    fit_parser.add_argument("--crossval", action="store_true", help="also report 3-fold accuracy rows")
+    fit_parser.add_argument("--folds", type=int, default=3)
+    fit_parser.add_argument("--seed", type=int, default=2016, help="cross-validation shuffle seed")
+
+    return parser
+
+
+# -- subcommands ----------------------------------------------------------------------
+
+def _command_plan(args) -> int:
+    plan = build_plan(_configuration_from(args), include_compositing=not args.no_compositing)
+    counts = plan.counts()
+    print(f"plan: {len(plan)} experiments ({json.dumps(counts)})")
+    for (kind, axis, technique), count in sorted(plan.breakdown().items()):
+        label = f"{kind:12s} {axis:12s} {technique or '-':22s}"
+        print(f"  {label} {count:4d}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(plan.to_payload(), handle, indent=1)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _command_run(args) -> int:
+    if (args.resume or args.require_cached) and not args.cache_dir:
+        print(
+            "error: --resume/--require-cached need --cache-dir (there is no cache to resume from)",
+            file=sys.stderr,
+        )
+        return 2
+    config = _configuration_from(args)
+    plan = build_plan(config, include_compositing=not args.no_compositing)
+    cache = CorpusCache(args.cache_dir) if args.cache_dir else None
+    corpus, report = run_plan(
+        plan, jobs=args.jobs, timeout=args.timeout, cache=cache, resume=args.resume
+    )
+    save_corpus(corpus, args.out, metadata={"report": report.as_dict(), "preset": args.preset})
+    print(
+        f"sweep: planned={report.planned} cache_hits={report.cache_hits} "
+        f"executed={report.executed} failed={report.failed}"
+    )
+    print(
+        f"corpus: {len(corpus.records)} rendering rows, "
+        f"{len(corpus.compositing_records)} compositing rows, "
+        f"{len(corpus.failures)} failures -> {args.out}"
+    )
+    for failure in report.failures:
+        spec = plan.specs[failure.index]
+        print(f"  FAILED [{failure.reason}] {spec.label()}: {failure.message}", file=sys.stderr)
+    if args.require_cached and report.executed > 0:
+        print(
+            f"--require-cached: {report.executed} experiments executed (expected 0)",
+            file=sys.stderr,
+        )
+        return 3
+    if report.failed:
+        return 4
+    return 0
+
+
+def _command_merge(args) -> int:
+    corpora = [load_corpus(path) for path in args.inputs]
+    merged = merge_corpora(corpora)
+    save_corpus(merged, args.output, metadata={"merged_from": list(args.inputs)})
+    print(
+        f"merged {len(args.inputs)} corpora -> {args.output}: "
+        f"{len(merged.records)} rendering rows, "
+        f"{len(merged.compositing_records)} compositing rows, "
+        f"{len(merged.failures)} failures"
+    )
+    return 0
+
+
+def _command_fit(args) -> int:
+    corpus = load_corpus(args.corpus)
+    print(
+        f"corpus: {len(corpus.records)} rendering rows, "
+        f"{len(corpus.compositing_records)} compositing rows, "
+        f"{len(corpus.failures)} failures"
+    )
+    models = corpus.fit_all_models()
+    for (architecture, technique), model in sorted(models.items()):
+        line = f"  {architecture:12s} {technique:20s} R^2={model.r_squared:.4f}"
+        if args.crossval:
+            try:
+                summary = corpus.cross_validate(architecture, technique, k=args.folds, seed=args.seed)
+            except ValueError as error:
+                line += f"  crossval skipped ({error})"
+            else:
+                row = summary.accuracy_row()
+                line += f"  within50={row['within_50']:.0f}% avg={row['average_percent']:.1f}%"
+        print(line)
+    if corpus.compositing_records:
+        compositing = corpus.fit_compositing_model()
+        print(f"  compositing ({len(corpus.compositing_records)} rows) R^2={compositing.r_squared:.4f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = {
+        "plan": _command_plan,
+        "run": _command_run,
+        "merge": _command_merge,
+        "fit": _command_fit,
+    }[args.command]
+    return command(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

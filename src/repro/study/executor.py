@@ -1,0 +1,448 @@
+"""The sweep executor: process-pool execution with isolation, timeouts, cache.
+
+Two layers live here.
+
+:class:`SweepExecutor` is generic: it runs ``execute(spec) -> payload`` over a
+list of specs with
+
+* **failure isolation** -- a spec that raises records an ``"error"`` failure;
+  a spec whose worker process dies (segfault, ``os._exit``, OOM kill) records
+  a ``"crash"`` failure and the pool replaces the worker; in both cases every
+  other spec still runs;
+* **per-experiment timeouts** -- a worker that exceeds ``timeout`` seconds on
+  one spec is terminated (``"timeout"`` failure) and replaced;
+* **caching / resume** -- with a :class:`~repro.study.cache.CorpusCache` and
+  ``resume=True``, cached specs are never re-executed, and every fresh result
+  is persisted the moment it finishes, so a killed sweep loses at most the
+  experiments that were in flight.
+
+The pool is hand-rolled (workers over pipes, a dispatcher with deadlines)
+rather than ``concurrent.futures`` because ``ProcessPoolExecutor`` cannot
+kill a timed-out task and treats a dead worker as a broken pool -- the
+opposite of the isolation contract above.  Each worker owns a private duplex
+pipe, so terminating one worker can never corrupt another's channel.
+
+The second layer is the study glue: :func:`execute_spec` turns one
+:class:`~repro.study.plan.ExperimentSpec` into a row payload by calling the
+same :class:`~repro.modeling.study.StudyHarness` methods the serial oracle
+uses, and :func:`run_plan` assembles executor output back into a
+:class:`~repro.modeling.study.StudyCorpus` in plan order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro.study.plan import (
+    KIND_COMPOSITING,
+    KIND_RENDER,
+    KIND_SYNTHETIC,
+    ExperimentSpec,
+    SweepPlan,
+)
+
+__all__ = [
+    "SpecFailure",
+    "SweepOutcome",
+    "SweepReport",
+    "SweepExecutor",
+    "execute_spec",
+    "run_plan",
+]
+
+#: Seconds between dispatcher wake-ups while waiting on workers.
+_POLL_SECONDS = 0.05
+
+
+@dataclass
+class SpecFailure:
+    """Why one spec produced no row."""
+
+    index: int
+    reason: str  #: ``"error"`` | ``"timeout"`` | ``"crash"``
+    error_type: str = ""
+    message: str = ""
+    traceback_text: str = ""
+
+
+@dataclass
+class SweepOutcome:
+    """Index-aligned results of one executor run."""
+
+    payloads: list[dict | None]
+    failures: list[SpecFailure] = field(default_factory=list)
+    from_cache: list[bool] = field(default_factory=list)
+    cache_hits: int = 0
+    executed: int = 0
+
+
+class _Worker:
+    """One pool process plus its private pipe and current assignment."""
+
+    def __init__(self, context, execute) -> None:
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = context.Process(
+            target=_worker_loop, args=(execute, child_conn), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+        self.task_index: int | None = None
+        self.deadline: float | None = None
+
+    def assign(self, index: int, spec, timeout: float | None) -> None:
+        self.conn.send((index, spec))
+        self.task_index = index
+        self.deadline = (time.monotonic() + timeout) if timeout else None
+
+    def release(self) -> None:
+        self.task_index = None
+        self.deadline = None
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(None)
+        except (OSError, BrokenPipeError):
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+        self.conn.close()
+
+    def kill(self) -> None:
+        self.process.terminate()
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=2.0)
+        self.conn.close()
+
+
+def _worker_loop(execute, conn) -> None:
+    """Worker main: receive ``(index, spec)``, reply ``(status, index, payload)``."""
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        index, spec = item
+        try:
+            payload = execute(spec)
+            conn.send(("ok", index, payload))
+        except Exception as exc:
+            conn.send(
+                (
+                    "error",
+                    index,
+                    {
+                        "error_type": type(exc).__name__,
+                        "message": str(exc),
+                        "traceback": traceback.format_exc(),
+                    },
+                )
+            )
+
+
+class SweepExecutor:
+    """Run ``execute`` over specs with isolation, timeouts, and caching.
+
+    Parameters
+    ----------
+    execute:
+        Pure function of one spec returning a JSON-safe payload.  Must be
+        picklable (a module-level function) when ``jobs > 1``.
+    jobs:
+        Worker process count; ``1`` executes in-process (no multiprocessing,
+        still failure-isolated for Python exceptions).
+    timeout:
+        Per-experiment wall-clock budget in seconds.  Enforcement requires a
+        killable process, so ``jobs=1`` with a timeout runs on a one-worker
+        pool instead of in-process.
+    cache, key_fn:
+        Content-addressed row cache plus the spec -> key-payload projection
+        (defaults to ``spec.key_payload()``).  Results are always written
+        through; cached rows are only *read* when ``run(resume=True)``.
+    """
+
+    def __init__(self, execute, jobs: int = 1, timeout: float | None = None, cache=None, key_fn=None):
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.execute = execute
+        self.jobs = jobs
+        self.timeout = timeout
+        self.cache = cache
+        self.key_fn = key_fn if key_fn is not None else lambda spec: spec.key_payload()
+
+    # -- public -------------------------------------------------------------------------
+    def run(self, specs: list, resume: bool = True) -> SweepOutcome:
+        outcome = SweepOutcome(
+            payloads=[None] * len(specs), from_cache=[False] * len(specs)
+        )
+        keys: list[str | None] = [None] * len(specs)
+        pending: list[int] = []
+        for index, spec in enumerate(specs):
+            if self.cache is not None:
+                keys[index] = self.cache.key(self.key_fn(spec))
+                if resume:
+                    cached = self.cache.get(keys[index])
+                    if cached is not None:
+                        outcome.payloads[index] = cached
+                        outcome.from_cache[index] = True
+                        outcome.cache_hits += 1
+                        continue
+            pending.append(index)
+
+        if not pending:
+            return outcome
+        # Timeouts can only be enforced on a process we may kill, so a
+        # timeout-carrying serial run still goes through a one-worker pool.
+        if self.jobs == 1 and self.timeout is None:
+            self._run_inline(specs, pending, keys, outcome)
+        else:
+            self._run_pool(specs, pending, keys, outcome)
+        return outcome
+
+    # -- in-process path ----------------------------------------------------------------
+    def _run_inline(self, specs, pending, keys, outcome) -> None:
+        for index in pending:
+            try:
+                payload = self.execute(specs[index])
+            except Exception as exc:
+                outcome.failures.append(
+                    SpecFailure(
+                        index=index,
+                        reason="error",
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        traceback_text=traceback.format_exc(),
+                    )
+                )
+                continue
+            self._record(index, payload, specs, keys, outcome)
+
+    # -- pool path ----------------------------------------------------------------------
+    def _run_pool(self, specs, pending, keys, outcome) -> None:
+        context = multiprocessing.get_context()
+        queue = list(pending)
+        workers: list[_Worker] = []
+        try:
+            for _ in range(min(self.jobs, len(queue))):
+                workers.append(_Worker(context, self.execute))
+            idle = list(workers)
+            while queue or any(w.task_index is not None for w in workers):
+                while queue and idle:
+                    worker = idle.pop()
+                    index = queue.pop(0)
+                    try:
+                        worker.assign(index, specs[index], self.timeout)
+                    except (OSError, BrokenPipeError):
+                        # Worker died before it could accept work; put the
+                        # spec back and replace the worker.
+                        queue.insert(0, index)
+                        worker.kill()
+                        workers.remove(worker)
+                        replacement = _Worker(context, self.execute)
+                        workers.append(replacement)
+                        idle.append(replacement)
+
+                busy = [w for w in workers if w.task_index is not None]
+                ready = multiprocessing.connection.wait(
+                    [w.conn for w in busy], timeout=_POLL_SECONDS
+                )
+                for conn in ready:
+                    worker = next(w for w in busy if w.conn is conn)
+                    index = worker.task_index
+                    try:
+                        status, reply_index, payload = conn.recv()
+                    except (EOFError, OSError):
+                        # The worker died without replying: crash isolation.
+                        outcome.failures.append(
+                            SpecFailure(
+                                index=index,
+                                reason="crash",
+                                message=f"worker exited with code {worker.process.exitcode}",
+                            )
+                        )
+                        worker.kill()
+                        workers.remove(worker)
+                        if queue:
+                            replacement = _Worker(context, self.execute)
+                            workers.append(replacement)
+                            idle.append(replacement)
+                        continue
+                    worker.release()
+                    idle.append(worker)
+                    if status == "ok":
+                        self._record(reply_index, payload, specs, keys, outcome)
+                    else:
+                        outcome.failures.append(
+                            SpecFailure(
+                                index=reply_index,
+                                reason="error",
+                                error_type=payload["error_type"],
+                                message=payload["message"],
+                                traceback_text=payload["traceback"],
+                            )
+                        )
+
+                now = time.monotonic()
+                for worker in [w for w in workers if w.deadline is not None and now > w.deadline]:
+                    if worker.conn.poll(0):
+                        # The result beat the deadline and is sitting in the
+                        # pipe: let the next wait() iteration consume it
+                        # rather than discarding a finished row as a timeout.
+                        continue
+                    outcome.failures.append(
+                        SpecFailure(
+                            index=worker.task_index,
+                            reason="timeout",
+                            message=f"experiment exceeded {self.timeout:.1f}s",
+                        )
+                    )
+                    worker.kill()
+                    workers.remove(worker)
+                    if queue:
+                        replacement = _Worker(context, self.execute)
+                        workers.append(replacement)
+                        idle.append(replacement)
+        finally:
+            for worker in workers:
+                if worker.task_index is None:
+                    worker.stop()
+                else:
+                    worker.kill()
+
+    # -- shared -------------------------------------------------------------------------
+    def _record(self, index, payload, specs, keys, outcome) -> None:
+        outcome.payloads[index] = payload
+        outcome.executed += 1
+        if self.cache is not None and keys[index] is not None:
+            self.cache.put(keys[index], payload, spec_payload=self.key_fn(specs[index]))
+
+
+# ---------------------------------------------------------------------------
+# Study glue: spec execution and plan -> corpus assembly
+# ---------------------------------------------------------------------------
+
+def execute_spec(spec: ExperimentSpec) -> dict:
+    """Run one experiment spec to a row payload (pure function of the spec).
+
+    Reconstructs a minimal harness from the spec's knobs and calls the same
+    per-experiment methods :meth:`StudyHarness.run_serial` calls, so the
+    engine and the oracle share one definition of every experiment.
+    """
+    from repro.modeling.study import StudyConfiguration, StudyHarness
+    from repro.study import corpus_io
+
+    harness = StudyHarness(
+        StudyConfiguration(
+            seed=spec.base_seed,
+            samples_in_depth=spec.samples_in_depth,
+            synthetic_samples_in_depth=spec.synthetic_samples_in_depth,
+            max_sampled_ranks=spec.max_sampled_ranks,
+        )
+    )
+    if spec.kind == KIND_RENDER:
+        record = harness.run_experiment(
+            spec.technique,
+            spec.simulation,
+            spec.num_tasks,
+            spec.cells_per_task,
+            spec.image_width,
+            spec.image_height,
+        )
+        return corpus_io.experiment_record_to_payload(record)
+    if spec.kind == KIND_SYNTHETIC:
+        record = harness.run_synthetic_experiment(
+            spec.architecture,
+            spec.technique,
+            spec.simulation,
+            spec.num_tasks,
+            spec.cells_per_task,
+            spec.image_width,
+            spec.image_height,
+        )
+        return corpus_io.experiment_record_to_payload(record)
+    record = harness.run_compositing_case(spec.algorithm, spec.num_tasks, spec.pixel_size)
+    return corpus_io.compositing_record_to_payload(record)
+
+
+@dataclass
+class SweepReport:
+    """What one engine run did (the CLI's summary and CI's assertions)."""
+
+    planned: int
+    cache_hits: int
+    executed: int
+    failures: list[SpecFailure] = field(default_factory=list)
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+    def as_dict(self) -> dict:
+        return {
+            "planned": self.planned,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "failed": self.failed,
+        }
+
+
+def run_plan(
+    plan: SweepPlan,
+    jobs: int = 1,
+    timeout: float | None = None,
+    cache=None,
+    resume: bool = True,
+):
+    """Execute a sweep plan into a corpus; returns ``(corpus, report)``.
+
+    ``cache`` may be a :class:`~repro.study.cache.CorpusCache` or a directory
+    path.  Rows land in plan order regardless of completion order, so the
+    corpus is row-for-row comparable with the serial oracle's.
+    """
+    from repro.modeling.study import FailureRecord, StudyCorpus
+    from repro.study import corpus_io
+    from repro.study.cache import CorpusCache
+
+    if cache is not None and not isinstance(cache, CorpusCache):
+        cache = CorpusCache(cache)
+    executor = SweepExecutor(execute_spec, jobs=jobs, timeout=timeout, cache=cache)
+    outcome = executor.run(plan.specs, resume=resume)
+
+    corpus = StudyCorpus()
+    failure_by_index = {failure.index: failure for failure in outcome.failures}
+    for index, spec in enumerate(plan.specs):
+        payload = outcome.payloads[index]
+        if payload is not None:
+            record = corpus_io.record_from_payload(payload)
+            if payload["row_type"] == "compositing":
+                corpus.compositing_records.append(record)
+            else:
+                corpus.records.append(record)
+            continue
+        failure = failure_by_index.get(index)
+        corpus.failures.append(
+            FailureRecord(
+                kind=spec.kind,
+                reason=failure.reason if failure else "error",
+                spec=spec.key_payload(),
+                error_type=failure.error_type if failure else "",
+                message=failure.message if failure else "",
+            )
+        )
+    report = SweepReport(
+        planned=len(plan.specs),
+        cache_hits=outcome.cache_hits,
+        executed=outcome.executed,
+        failures=outcome.failures,
+    )
+    return corpus, report

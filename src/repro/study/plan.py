@@ -1,0 +1,242 @@
+"""Declarative sweep plans: matrix expansion of a :class:`StudyConfiguration`.
+
+The paper's study is a 1,350-experiment matrix over {architecture x technique
+x simulation x task count x resolution x data size}; this module turns a
+:class:`~repro.modeling.study.StudyConfiguration` into the equivalent explicit
+list of :class:`ExperimentSpec`\\ s *before* anything runs.  Expanding first is
+what makes the rest of the engine possible:
+
+* every stochastic choice (the stratified resolution/size samples) is drawn at
+  plan time, so executing a spec is a pure function of the spec -- specs can be
+  cached, distributed over a process pool, retried, or skipped without
+  changing any other spec's result;
+* the plan is serializable (``python -m repro.study plan --out plan.json``)
+  and diffable, so a sweep is reviewable before it spends hours rendering;
+* the plan order *is* the corpus order: the engine reassembles rows by spec
+  index, which keeps a parallel sweep row-for-row identical to the serial
+  oracle (:meth:`~repro.modeling.study.StudyHarness.run_serial`).
+
+The expansion reproduces the oracle's enumeration exactly: one host-measured
+pass per technique drawing from the ``"study"`` RNG stream, one synthesized
+full-scale pass per non-host architecture drawing from ``"study-synthetic"``,
+then the compositing matrix (algorithms x task counts x pixel sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.modeling.study import HOST_ARCHITECTURE, StudyConfiguration
+from repro.util.rng import default_rng
+
+__all__ = [
+    "ExperimentSpec",
+    "SweepPlan",
+    "build_plan",
+    "smoke_configuration",
+    "full_configuration",
+    "spec_from_payload",
+]
+
+#: Spec kinds and the experiment they resolve to.
+KIND_RENDER = "render"  # host-measured render (StudyHarness.run_experiment)
+KIND_SYNTHETIC = "synthetic"  # mapped + cost-model experiment (run_synthetic_experiment)
+KIND_COMPOSITING = "compositing"  # Eq. 5.5 compositing row (run_compositing_case)
+
+KINDS = (KIND_RENDER, KIND_SYNTHETIC, KIND_COMPOSITING)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One fully-resolved experiment of a sweep.
+
+    A spec carries *everything* its execution needs -- config keys plus the
+    handful of :class:`StudyConfiguration` knobs the renderers consume -- so a
+    worker process reconstructs nothing from ambient state.  Two specs with
+    equal :meth:`key_payload` describe the same experiment and may share a
+    cache entry.
+    """
+
+    kind: str
+    base_seed: int
+    architecture: str = ""
+    technique: str = ""
+    simulation: str = ""
+    num_tasks: int = 0
+    cells_per_task: int = 0
+    image_width: int = 0
+    image_height: int = 0
+    samples_in_depth: int = 0
+    synthetic_samples_in_depth: int = 0
+    max_sampled_ranks: int = 0
+    algorithm: str = ""
+    pixel_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown spec kind {self.kind!r}; choose from {KINDS}")
+
+    def key_payload(self) -> dict:
+        """The identity of this experiment as a flat, JSON-stable dict.
+
+        Every field participates: the config keys obviously, and the harness
+        knobs too (``samples_in_depth`` changes the render, ``base_seed``
+        changes the noise/sub-image streams), so the content-addressed cache
+        can never alias two experiments that would produce different rows.
+        """
+        return {name: value for name, value in sorted(asdict(self).items())}
+
+    def label(self) -> str:
+        """Short human-readable identity used in logs and failure rows."""
+        if self.kind == KIND_COMPOSITING:
+            return f"compositing/{self.algorithm}/t{self.num_tasks}/{self.pixel_size}px"
+        return (
+            f"{self.kind}/{self.architecture}/{self.technique}/{self.simulation}"
+            f"/t{self.num_tasks}/c{self.cells_per_task}/{self.image_width}x{self.image_height}"
+        )
+
+
+@dataclass
+class SweepPlan:
+    """An ordered list of specs plus the configuration that produced it."""
+
+    config: StudyConfiguration
+    specs: list[ExperimentSpec] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def counts(self) -> dict[str, int]:
+        """Spec counts by kind (the ``plan`` subcommand's summary)."""
+        counts: dict[str, int] = {kind: 0 for kind in KINDS}
+        for spec in self.specs:
+            counts[spec.kind] += 1
+        return counts
+
+    def breakdown(self) -> dict[tuple[str, str, str], int]:
+        """Counts by (kind, architecture-or-algorithm, technique)."""
+        table: dict[tuple[str, str, str], int] = {}
+        for spec in self.specs:
+            axis = spec.algorithm if spec.kind == KIND_COMPOSITING else spec.architecture
+            key = (spec.kind, axis, spec.technique)
+            table[key] = table.get(key, 0) + 1
+        return table
+
+    def to_payload(self) -> dict:
+        """JSON-serializable form (``plan --out plan.json``)."""
+        return {
+            "config": asdict(self.config),
+            "specs": [spec.key_payload() for spec in self.specs],
+        }
+
+
+def build_plan(config: StudyConfiguration, include_compositing: bool = True) -> SweepPlan:
+    """Expand a study configuration into the explicit experiment matrix.
+
+    The enumeration (loop nesting *and* RNG stream consumption) mirrors
+    :meth:`StudyHarness.run_serial` exactly; the engine's row-for-row parity
+    with the serial oracle rests on this function staying in lockstep with it.
+    """
+    specs: list[ExperimentSpec] = []
+    common = dict(
+        base_seed=config.seed,
+        samples_in_depth=config.samples_in_depth,
+        synthetic_samples_in_depth=config.synthetic_samples_in_depth,
+        max_sampled_ranks=config.max_sampled_ranks,
+    )
+
+    rng = default_rng(config.seed, "study")
+    for technique in config.techniques:
+        if HOST_ARCHITECTURE in config.architectures:
+            for image_size, cells, tasks, simulation in config.stratified_samples(rng):
+                specs.append(
+                    ExperimentSpec(
+                        kind=KIND_RENDER,
+                        architecture=HOST_ARCHITECTURE,
+                        technique=technique,
+                        simulation=simulation,
+                        num_tasks=tasks,
+                        cells_per_task=cells,
+                        image_width=image_size,
+                        image_height=image_size,
+                        **common,
+                    )
+                )
+
+    synthetic_rng = default_rng(config.seed, "study-synthetic")
+    for architecture in config.architectures:
+        if architecture == HOST_ARCHITECTURE:
+            continue
+        for technique in config.techniques:
+            for image_size, cells, tasks, simulation in config.stratified_samples(
+                synthetic_rng, synthetic=True
+            ):
+                specs.append(
+                    ExperimentSpec(
+                        kind=KIND_SYNTHETIC,
+                        architecture=architecture,
+                        technique=technique,
+                        simulation=simulation,
+                        num_tasks=tasks,
+                        cells_per_task=cells,
+                        image_width=image_size,
+                        image_height=image_size,
+                        **common,
+                    )
+                )
+
+    if include_compositing:
+        for algorithm in config.compositing_algorithms:
+            for tasks in config.compositing_task_counts:
+                for size in config.compositing_pixel_sizes:
+                    specs.append(
+                        ExperimentSpec(
+                            kind=KIND_COMPOSITING,
+                            algorithm=algorithm,
+                            num_tasks=tasks,
+                            pixel_size=size,
+                            **common,
+                        )
+                    )
+
+    return SweepPlan(config=config, specs=specs)
+
+
+def smoke_configuration(seed: int = 2016) -> StudyConfiguration:
+    """The CI smoke matrix: 2 simulations x 2 renderer families x 4 ranks.
+
+    Small enough to run (twice -- once cold, once resumed) inside the CI
+    budget, but still exercising host renders, synthesized experiments, and
+    every compositing algorithm.
+    """
+    return StudyConfiguration(
+        simulations=("kripke", "lulesh"),
+        techniques=("raytrace", "volume"),
+        task_counts=(4,),
+        samples_per_technique=4,
+        image_size_range=(48, 80),
+        cells_per_task_range=(6, 10),
+        samples_in_depth=24,
+        compositing_task_counts=(4,),
+        compositing_pixel_sizes=(48, 64),
+        compositing_algorithms=("direct-send", "binary-swap", "radix-k"),
+        seed=seed,
+    )
+
+
+def full_configuration(seed: int = 2016) -> StudyConfiguration:
+    """The widest matrix the reproduction renders: every simulation in
+    :mod:`repro.simulations`, all four renderer families, all three
+    compositing algorithms, both devices, the default stratified
+    resolution/size pairs."""
+    return StudyConfiguration(
+        techniques=("raytrace", "raster", "volume", "volume_unstructured"),
+        compositing_algorithms=("direct-send", "binary-swap", "radix-k"),
+        seed=seed,
+    )
+
+
+def spec_from_payload(payload: dict) -> ExperimentSpec:
+    """Inverse of :meth:`ExperimentSpec.key_payload` (plan files, cache entries)."""
+    known = set(ExperimentSpec.__dataclass_fields__)
+    return ExperimentSpec(**{name: value for name, value in payload.items() if name in known})

@@ -1,0 +1,447 @@
+"""The sweep engine: plans, executor isolation, cache/resume, oracle parity.
+
+The two acceptance properties of the engine live here:
+
+* a parallel sweep (``jobs=4``) over 48+ configurations is row-for-row
+  identical to the serial :meth:`StudyHarness.run_serial` oracle (config keys
+  exact, features to 1e-10, synthesized timings bit-equal);
+* a killed-then-resumed sweep completes from cache without re-running any
+  finished configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.modeling.study import FailureRecord, StudyConfiguration, StudyHarness
+from repro.study import (
+    CorpusCache,
+    SweepExecutor,
+    build_plan,
+    cache_key,
+    run_plan,
+)
+from repro.study import cli as study_cli
+from repro.study import corpus_io
+from repro.study.plan import spec_from_payload
+
+
+# ---------------------------------------------------------------------------
+# Executor worker functions (module level: must be picklable for the pool)
+# ---------------------------------------------------------------------------
+
+def _echo_execute(spec: dict) -> dict:
+    return {"row_type": "echo", "value": spec["value"] * 2}
+
+
+def _flaky_execute(spec: dict) -> dict:
+    if spec["value"] == 2:
+        raise ValueError("injected failure")
+    return {"row_type": "echo", "value": spec["value"] * 2}
+
+
+def _crashing_execute(spec: dict) -> dict:
+    if spec["value"] == 1:
+        os._exit(13)
+    return {"row_type": "echo", "value": spec["value"] * 2}
+
+
+def _hanging_execute(spec: dict) -> dict:
+    if spec["value"] == 0:
+        time.sleep(60.0)
+    return {"row_type": "echo", "value": spec["value"] * 2}
+
+
+def _dict_key(spec: dict) -> dict:
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Generic executor behavior
+# ---------------------------------------------------------------------------
+
+class TestSweepExecutor:
+    SPECS = [{"value": index} for index in range(6)]
+
+    def test_inline_executes_all(self):
+        outcome = SweepExecutor(_echo_execute, jobs=1, key_fn=_dict_key).run(self.SPECS)
+        assert [p["value"] for p in outcome.payloads] == [0, 2, 4, 6, 8, 10]
+        assert outcome.executed == 6 and not outcome.failures
+
+    def test_inline_isolates_exceptions(self):
+        outcome = SweepExecutor(_flaky_execute, jobs=1, key_fn=_dict_key).run(self.SPECS)
+        assert outcome.payloads[2] is None
+        assert [f.index for f in outcome.failures] == [2]
+        assert outcome.failures[0].reason == "error"
+        assert outcome.failures[0].error_type == "ValueError"
+        assert sum(p is not None for p in outcome.payloads) == 5
+
+    def test_pool_matches_inline_order(self):
+        outcome = SweepExecutor(_echo_execute, jobs=3, key_fn=_dict_key).run(self.SPECS)
+        assert [p["value"] for p in outcome.payloads] == [0, 2, 4, 6, 8, 10]
+
+    def test_pool_isolates_exceptions(self):
+        outcome = SweepExecutor(_flaky_execute, jobs=2, key_fn=_dict_key).run(self.SPECS)
+        assert outcome.payloads[2] is None
+        assert [f.index for f in outcome.failures] == [2]
+        assert outcome.failures[0].reason == "error"
+        assert "injected failure" in outcome.failures[0].message
+
+    def test_pool_isolates_worker_crashes(self):
+        outcome = SweepExecutor(_crashing_execute, jobs=2, key_fn=_dict_key).run(self.SPECS)
+        assert outcome.payloads[1] is None
+        failures = {f.index: f for f in outcome.failures}
+        assert failures[1].reason == "crash"
+        # The dead worker was replaced: every other spec still produced a row.
+        assert sum(p is not None for p in outcome.payloads) == 5
+
+    def test_pool_enforces_per_experiment_timeout(self):
+        start = time.monotonic()
+        outcome = SweepExecutor(_hanging_execute, jobs=2, timeout=1.0, key_fn=_dict_key).run(
+            self.SPECS
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 30.0, "timed-out worker must be killed, not awaited"
+        failures = {f.index: f for f in outcome.failures}
+        assert failures[0].reason == "timeout"
+        assert sum(p is not None for p in outcome.payloads) == 5
+
+    def test_serial_timeout_enforced_via_one_worker_pool(self):
+        # jobs=1 cannot kill an in-process hang, so a timeout-carrying serial
+        # run must transparently use a killable one-worker pool.
+        outcome = SweepExecutor(_hanging_execute, jobs=1, timeout=1.0, key_fn=_dict_key).run(
+            self.SPECS
+        )
+        failures = {f.index: f for f in outcome.failures}
+        assert failures[0].reason == "timeout"
+        assert sum(p is not None for p in outcome.payloads) == 5
+
+    def test_cache_short_circuits_resume(self, tmp_path):
+        cache = CorpusCache(tmp_path / "cache", token="t0")
+        executor = SweepExecutor(_echo_execute, jobs=1, cache=cache, key_fn=_dict_key)
+        first = executor.run(self.SPECS)
+        assert first.executed == 6 and first.cache_hits == 0
+        second = executor.run(self.SPECS, resume=True)
+        assert second.executed == 0 and second.cache_hits == 6
+        assert second.payloads == first.payloads
+        third = executor.run(self.SPECS, resume=False)
+        assert third.executed == 6 and third.cache_hits == 0
+
+    def test_failures_are_never_cached(self, tmp_path):
+        cache = CorpusCache(tmp_path / "cache", token="t0")
+        SweepExecutor(_flaky_execute, jobs=1, cache=cache, key_fn=_dict_key).run(self.SPECS)
+        resumed = SweepExecutor(_echo_execute, jobs=1, cache=cache, key_fn=_dict_key).run(
+            self.SPECS, resume=True
+        )
+        # The previously-failed spec re-executes and succeeds this time.
+        assert resumed.cache_hits == 5 and resumed.executed == 1
+        assert resumed.payloads[2] == {"row_type": "echo", "value": 4}
+
+
+class TestCorpusCache:
+    def test_key_is_order_insensitive_and_content_sensitive(self):
+        a = cache_key({"x": 1, "y": 2}, token="t")
+        b = cache_key({"y": 2, "x": 1}, token="t")
+        assert a == b
+        assert cache_key({"x": 1, "y": 3}, token="t") != a
+        assert cache_key({"x": 1, "y": 2}, token="other") != a
+
+    def test_corrupt_entries_read_as_misses(self, tmp_path):
+        cache = CorpusCache(tmp_path, token="t")
+        key = cache.key({"x": 1})
+        cache.put(key, {"row_type": "echo", "value": 9})
+        assert cache.get(key) == {"row_type": "echo", "value": 9}
+        path = cache._path(key)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_len_and_clear(self, tmp_path):
+        cache = CorpusCache(tmp_path, token="t")
+        for index in range(3):
+            cache.put(cache.key({"x": index}), {"v": index})
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+# ---------------------------------------------------------------------------
+# Plans
+# ---------------------------------------------------------------------------
+
+class TestPlan:
+    CONFIG = StudyConfiguration(samples_per_technique=4, seed=7)
+
+    def test_expansion_is_deterministic(self):
+        first = build_plan(self.CONFIG)
+        second = build_plan(self.CONFIG)
+        assert first.specs == second.specs
+        assert len(first) == 2 * 3 * 4 + 6 * 5  # host+synthetic rows, compositing matrix
+
+    def test_counts_and_breakdown(self):
+        plan = build_plan(self.CONFIG)
+        counts = plan.counts()
+        assert counts == {"render": 12, "synthetic": 12, "compositing": 30}
+        assert sum(plan.breakdown().values()) == len(plan)
+
+    def test_spec_payload_round_trip(self):
+        plan = build_plan(self.CONFIG)
+        for spec in plan.specs[:5]:
+            assert spec_from_payload(spec.key_payload()) == spec
+
+    def test_compositing_can_be_excluded(self):
+        plan = build_plan(self.CONFIG, include_compositing=False)
+        assert plan.counts()["compositing"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Engine vs serial oracle (the acceptance differential)
+# ---------------------------------------------------------------------------
+
+ORACLE_CONFIG = StudyConfiguration(
+    samples_per_technique=8,
+    task_counts=(1, 2, 4),
+    image_size_range=(48, 96),
+    cells_per_task_range=(6, 12),
+    samples_in_depth=24,
+    seed=123,
+    compositing_task_counts=(2, 4),
+    compositing_pixel_sizes=(32, 48),
+    compositing_algorithms=("direct-send", "binary-swap", "radix-k"),
+)
+
+
+@pytest.fixture(scope="module")
+def oracle_corpus():
+    return StudyHarness(ORACLE_CONFIG).run_serial()
+
+
+@pytest.fixture(scope="module")
+def engine_corpus():
+    return StudyHarness(ORACLE_CONFIG).run(jobs=4)
+
+
+def _config_key(record):
+    return (
+        record.architecture,
+        record.technique,
+        record.simulation,
+        record.num_tasks,
+        record.cells_per_task,
+        record.image_width,
+        record.image_height,
+    )
+
+
+class TestEngineMatchesOracle:
+    def test_sweep_covers_at_least_48_configurations(self, oracle_corpus):
+        assert len(oracle_corpus.records) >= 48
+
+    def test_rendering_rows_match(self, oracle_corpus, engine_corpus):
+        assert len(engine_corpus.records) == len(oracle_corpus.records)
+        for serial, parallel in zip(oracle_corpus.records, engine_corpus.records):
+            assert _config_key(serial) == _config_key(parallel)
+            serial_features = serial.features.as_dict()
+            parallel_features = parallel.features.as_dict()
+            for name in serial_features:
+                assert serial_features[name] == pytest.approx(parallel_features[name], abs=1e-10)
+
+    def test_synthetic_timings_are_bit_equal(self, oracle_corpus, engine_corpus):
+        pairs = [
+            (serial, parallel)
+            for serial, parallel in zip(oracle_corpus.records, engine_corpus.records)
+            if serial.architecture != "cpu-host"
+        ]
+        assert pairs, "expected synthetic rows in the oracle corpus"
+        for serial, parallel in pairs:
+            assert serial.phase_seconds == parallel.phase_seconds
+            assert serial.build_seconds == parallel.build_seconds
+            assert serial.frame_seconds == parallel.frame_seconds
+
+    def test_compositing_rows_match(self, oracle_corpus, engine_corpus):
+        assert len(engine_corpus.compositing_records) == len(oracle_corpus.compositing_records)
+        for serial, parallel in zip(
+            oracle_corpus.compositing_records, engine_corpus.compositing_records
+        ):
+            assert (serial.algorithm, serial.num_tasks, serial.pixels) == (
+                parallel.algorithm,
+                parallel.num_tasks,
+                parallel.pixels,
+            )
+            assert serial.average_active_pixels == pytest.approx(
+                parallel.average_active_pixels, abs=1e-10
+            )
+            assert serial.seconds == pytest.approx(parallel.seconds, abs=1e-10)
+
+    def test_no_failures_on_the_happy_path(self, engine_corpus):
+        assert engine_corpus.failures == []
+
+    def test_engine_corpus_fits_models(self, engine_corpus):
+        fitted = engine_corpus.fit_all_models()
+        assert len(fitted) == 6
+        assert all(np.isfinite(model.r_squared) for model in fitted.values())
+
+
+# ---------------------------------------------------------------------------
+# Resume and failure semantics at the plan level
+# ---------------------------------------------------------------------------
+
+# Synthetic + compositing only (no host rendering): executes in milliseconds.
+FAST_CONFIG = StudyConfiguration(
+    architectures=("gpu1-k40m",),
+    samples_per_technique=6,
+    seed=21,
+    compositing_task_counts=(2, 4),
+    compositing_pixel_sizes=(32,),
+)
+
+
+class TestResumeSemantics:
+    def test_killed_sweep_resumes_without_rerunning(self, tmp_path):
+        cache = CorpusCache(tmp_path / "cache")
+        plan = build_plan(FAST_CONFIG)
+        half = len(plan.specs) // 2
+
+        # A sweep killed halfway: only the first half of the plan finished
+        # (every finished row is in the cache, nothing else is).
+        partial = dataclasses.replace(plan, specs=plan.specs[:half])
+        _corpus, report = run_plan(partial, jobs=1, cache=cache, resume=True)
+        assert report.executed == half
+
+        # The restarted sweep completes from cache: finished configs are
+        # never re-executed, the rest run now.
+        corpus, report = run_plan(plan, jobs=1, cache=cache, resume=True)
+        assert report.cache_hits == half
+        assert report.executed == len(plan.specs) - half
+        assert len(corpus.records) + len(corpus.compositing_records) == len(plan.specs)
+
+        # A third run is 100% cache hits (the CI sweep-smoke assertion).
+        _corpus, report = run_plan(plan, jobs=1, cache=cache, resume=True)
+        assert report.cache_hits == len(plan.specs)
+        assert report.executed == 0
+
+    def test_resumed_rows_equal_fresh_rows(self, tmp_path):
+        plan = build_plan(FAST_CONFIG)
+        fresh, _ = run_plan(plan, jobs=1)
+        cache = CorpusCache(tmp_path / "cache")
+        run_plan(plan, jobs=1, cache=cache)
+        resumed, report = run_plan(plan, jobs=1, cache=cache, resume=True)
+        assert report.executed == 0
+        for a, b in zip(fresh.records, resumed.records):
+            assert _config_key(a) == _config_key(b)
+            assert a.phase_seconds == b.phase_seconds
+
+    def test_strict_run_raises_instead_of_shrinking_the_corpus(self):
+        # Library entry points keep the pre-engine contract: an experiment
+        # failure is loud, never a silently smaller corpus under the fits.
+        config = StudyConfiguration(
+            architectures=("cpu-host",),
+            techniques=("not-a-technique",),
+            samples_per_technique=2,
+            task_counts=(1,),
+            seed=5,
+        )
+        harness = StudyHarness(config)
+        with pytest.raises(RuntimeError, match="experiments failed"):
+            harness.run(include_compositing=False)
+        corpus = harness.run(include_compositing=False, strict=False)
+        assert len(corpus.failures) == 2 and corpus.records == []
+
+    def test_broken_config_records_failure_row(self):
+        plan = build_plan(FAST_CONFIG, include_compositing=False)
+        specs = list(plan.specs)
+        specs[3] = dataclasses.replace(specs[3], technique="does-not-exist")
+        broken = dataclasses.replace(plan, specs=specs)
+        corpus, report = run_plan(broken, jobs=1)
+        assert report.failed == 1
+        assert len(corpus.records) == len(specs) - 1
+        [failure] = corpus.failures
+        assert failure.kind == "synthetic"
+        assert failure.reason == "error"
+        assert failure.spec["technique"] == "does-not-exist"
+        # Failure rows never block fitting the healthy slice of the corpus.
+        assert corpus.fit_all_models()
+
+
+# ---------------------------------------------------------------------------
+# Corpus serialization and the CLI
+# ---------------------------------------------------------------------------
+
+class TestCorpusIO:
+    def test_round_trip_with_failures(self, tmp_path):
+        corpus, _ = run_plan(build_plan(FAST_CONFIG), jobs=1)
+        corpus.failures.append(
+            FailureRecord(
+                kind="render", reason="timeout", spec={"technique": "raytrace"}, message="slow"
+            )
+        )
+        path = corpus_io.save_corpus(corpus, tmp_path / "corpus.json")
+        loaded = corpus_io.load_corpus(path)
+        assert len(loaded.records) == len(corpus.records)
+        assert len(loaded.compositing_records) == len(corpus.compositing_records)
+        assert len(loaded.failures) == 1
+        assert loaded.failures[0].reason == "timeout"
+        for a, b in zip(corpus.records, loaded.records):
+            assert a == b
+
+    def test_payload_without_failures_section_loads(self):
+        corpus = corpus_io.corpus_from_payload({"schema": 1, "records": [], "compositing_records": []})
+        assert corpus.failures == []
+
+    def test_merge(self):
+        first, _ = run_plan(build_plan(FAST_CONFIG, include_compositing=False), jobs=1)
+        second, _ = run_plan(build_plan(FAST_CONFIG), jobs=1)
+        merged = corpus_io.merge_corpora([first, second])
+        assert len(merged.records) == len(first.records) + len(second.records)
+        assert len(merged.compositing_records) == len(second.compositing_records)
+
+
+class TestCLI:
+    ARGS = ["--preset", "default", "--architectures", "gpu1-k40m", "--samples", "4", "--seed", "3"]
+
+    def test_plan_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "plan.json"
+        assert study_cli.main(["plan", *self.ARGS, "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["specs"]) > 0
+        assert "plan:" in capsys.readouterr().out
+
+    def test_run_resume_and_require_cached(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        out = str(tmp_path / "corpus.json")
+        args = ["run", *self.ARGS, "--no-compositing", "--cache-dir", cache_dir, "--out", out]
+        assert study_cli.main(args) == 0
+        # Nothing was cached-read on a cold run, so --require-cached fails...
+        assert study_cli.main([*args, "--require-cached"]) == 3
+        # ...and passes once --resume reuses the rows the cold run wrote.
+        assert study_cli.main([*args, "--resume", "--require-cached"]) == 0
+        capsys.readouterr()
+        corpus = corpus_io.load_corpus(out)
+        assert len(corpus.records) == 3 * 4
+
+    def test_resume_without_cache_dir_is_a_usage_error(self, tmp_path, capsys):
+        out = str(tmp_path / "corpus.json")
+        assert study_cli.main(["run", *self.ARGS, "--resume", "--out", out]) == 2
+        assert study_cli.main(["run", *self.ARGS, "--require-cached", "--out", out]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_fit_subcommand(self, tmp_path, capsys):
+        out = str(tmp_path / "corpus.json")
+        assert study_cli.main(["run", *self.ARGS, "--out", out]) == 0
+        assert study_cli.main(["fit", out]) == 0
+        assert "R^2" in capsys.readouterr().out
+
+    def test_merge_subcommand(self, tmp_path, capsys):
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        merged = str(tmp_path / "merged.json")
+        assert study_cli.main(["run", *self.ARGS, "--no-compositing", "--out", a]) == 0
+        assert study_cli.main(["run", *self.ARGS, "--no-compositing", "--out", b]) == 0
+        assert study_cli.main(["merge", merged, a, b]) == 0
+        capsys.readouterr()
+        assert len(corpus_io.load_corpus(merged).records) == 2 * 3 * 4
