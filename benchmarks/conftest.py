@@ -41,12 +41,26 @@ def study_corpus():
 
 
 @pytest.fixture(scope="session")
-def fitted_models(study_corpus):
-    """All six fitted single-node models keyed by (architecture, technique)."""
-    return study_corpus.fit_all_models()
+def model_suite(study_corpus):
+    """The fitted-model registry (suite) over the default corpus.
+
+    The table/figure benchmarks consume models through the same
+    :class:`~repro.reporting.suite.ModelSuite` the ``report`` CLI and CI
+    artifacts use, so a registry regression shows up here too.
+    """
+    from repro.reporting import ModelSuite
+
+    return ModelSuite.fit_corpus(study_corpus)
 
 
 @pytest.fixture(scope="session")
-def compositing_model(study_corpus):
+def fitted_models(model_suite):
+    """All six fitted single-node models keyed by (architecture, technique)."""
+    return model_suite.models()
+
+
+@pytest.fixture(scope="session")
+def compositing_model(model_suite):
     """The fitted Eq. 5.5 compositing model."""
-    return study_corpus.fit_compositing_model()
+    assert model_suite.compositing is not None
+    return model_suite.compositing.model

@@ -1,0 +1,161 @@
+"""Smoke perf-regression guard against the checked-in ``BENCH_render.json``.
+
+Re-measures a CI-sized subset of the render-throughput trajectory (the 96^2
+workloads, the structured volume caster, and 64-rank compositing) and fails
+when any number regresses by more than the tolerance (default 30%) against
+the record's ``current`` section:
+
+    python -m benchmarks.perf_guard [--tolerance 0.30] [--against BENCH_render.json]
+
+Throughput sections (``raytracer``, ``volume``, Mrays/s) regress *down*;
+the ``compositing`` section (seconds per composite) regresses *up*.  The
+comparison logic (:func:`compare_sections`) is pure and unit-tested; only
+``measure_smoke`` touches wall clocks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_BENCH_DIR = Path(__file__).resolve().parent
+if str(_BENCH_DIR) not in sys.path:  # allow `python -m benchmarks.perf_guard`
+    sys.path.insert(0, str(_BENCH_DIR))
+
+__all__ = ["SMOKE_KEYS", "HIGHER_IS_BETTER", "compare_sections", "measure_smoke", "main"]
+
+#: The CI-sized measurement subset: one image size / rank count per section.
+SMOKE_KEYS = {
+    "raytracer": ("intersection_only_96", "shading_96", "full_96"),
+    "volume": ("structured_96",),
+    "compositing": ("direct-send_64", "binary-swap_64", "radix-k_64"),
+}
+
+#: Regression direction per section: Mrays/s fall, seconds rise.
+HIGHER_IS_BETTER = {"raytracer": True, "volume": True, "compositing": False}
+
+
+def compare_sections(
+    baseline: dict, measured: dict[str, dict[str, float]], tolerance: float
+) -> list[dict]:
+    """Compare measured smoke numbers against a BENCH record; pure function.
+
+    ``baseline`` is the parsed ``BENCH_render.json``; ``measured`` maps
+    section name to ``{key: value}``.  Returns one row per measured key with
+    ``regression`` (fractional, positive = worse) and ``regressed`` (True when
+    the regression exceeds ``tolerance``).  Keys absent from the baseline are
+    reported with ``regressed=False`` and a note -- a freshly added benchmark
+    must not fail the guard before the record is regenerated.
+    """
+    rows = []
+    for section, values in measured.items():
+        higher_better = HIGHER_IS_BETTER[section]
+        current = baseline.get(section, {}).get("current", {})
+        for key, value in values.items():
+            if key not in current:
+                rows.append(
+                    {
+                        "section": section,
+                        "key": key,
+                        "baseline": None,
+                        "measured": value,
+                        "regression": 0.0,
+                        "regressed": False,
+                        "note": "no baseline entry",
+                    }
+                )
+                continue
+            base = float(current[key])
+            if higher_better:
+                regression = (base - value) / base
+            else:
+                regression = (value - base) / base
+            rows.append(
+                {
+                    "section": section,
+                    "key": key,
+                    "baseline": base,
+                    "measured": value,
+                    "regression": regression,
+                    "regressed": regression > tolerance,
+                    "note": "",
+                }
+            )
+    return rows
+
+
+def measure_smoke() -> dict[str, dict[str, float]]:
+    """Measure the smoke subset (the only wall-clock-touching function here)."""
+    import bench_compositing_throughput as compositing_bench
+    import bench_traversal_throughput as raytracer_bench
+    import bench_volume_throughput as volume_bench
+    from common import surface_scene_pool
+    from repro.rendering import Workload
+
+    pool = surface_scene_pool()[raytracer_bench.POOL_SLICE]
+    workloads = {
+        "intersection_only_96": Workload.INTERSECTION_ONLY,
+        "shading_96": Workload.SHADING,
+        "full_96": Workload.FULL,
+    }
+    measured: dict[str, dict[str, float]] = {"raytracer": {}, "volume": {}, "compositing": {}}
+    for key in SMOKE_KEYS["raytracer"]:
+        measured["raytracer"][key] = raytracer_bench.measure_workload(workloads[key], 96, pool)[
+            "mrays_per_s"
+        ]
+    for key in SMOKE_KEYS["volume"]:
+        kind = key.rsplit("_", 1)[0]
+        measured["volume"][key] = volume_bench.measure_family(kind, 96)["mrays_per_s"]
+    for key in SMOKE_KEYS["compositing"]:
+        algorithm, tasks = key.rsplit("_", 1)
+        measured["compositing"][key] = compositing_bench.measure_algorithm(
+            algorithm, int(tasks), 256
+        )["seconds"]
+    return measured
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf_guard",
+        description="Fail when smoke benchmark numbers regress against BENCH_render.json.",
+    )
+    parser.add_argument(
+        "--against", default=str(_BENCH_DIR.parent / "BENCH_render.json"), help="baseline record"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30, help="allowed fractional regression (default 0.30)"
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.against, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    print(f"measuring smoke subset ({sum(len(keys) for keys in SMOKE_KEYS.values())} keys) ...")
+    measured = measure_smoke()
+    rows = compare_sections(baseline, measured, args.tolerance)
+
+    failures = 0
+    for row in rows:
+        base = "-" if row["baseline"] is None else f"{row['baseline']:.4f}"
+        status = "FAIL" if row["regressed"] else "ok"
+        if row["regressed"]:
+            failures += 1
+        print(
+            f"  {status:4s} {row['section']:12s} {row['key']:22s} "
+            f"baseline={base:>10s} measured={row['measured']:.4f} "
+            f"regression={row['regression'] * 100.0:+.1f}% {row['note']}"
+        )
+    if failures:
+        print(
+            f"perf guard: {failures} key(s) regressed more than "
+            f"{args.tolerance * 100.0:.0f}% vs {args.against}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"perf guard ok (tolerance {args.tolerance * 100.0:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,12 @@ The package implements the full Chapter V methodology:
 """
 
 from repro.modeling.crossval import CrossValidationSummary, k_fold_cross_validation
-from repro.modeling.features import RenderingConfiguration, map_configuration_to_features
+from repro.modeling.features import (
+    RenderingConfiguration,
+    feature_arrays,
+    map_configuration_batch,
+    map_configuration_to_features,
+)
 from repro.modeling.models import (
     CompositingModel,
     RasterizationModel,
@@ -56,8 +61,10 @@ __all__ = [
     "StudyHarness",
     "TotalRenderingModel",
     "VolumeRenderingModel",
+    "feature_arrays",
     "fit_linear_model",
     "k_fold_cross_validation",
     "make_model",
+    "map_configuration_batch",
     "map_configuration_to_features",
 ]

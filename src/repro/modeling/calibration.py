@@ -11,7 +11,7 @@ predicts arbitrary large configurations through the Section 5.8 mapping.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -63,8 +63,11 @@ class MachineCalibration:
     _harness: StudyHarness = field(init=False)
 
     def __post_init__(self) -> None:
+        architectures = (
+            ("cpu-host", self.architecture) if self.architecture != "cpu-host" else ("cpu-host",)
+        )
         config = StudyConfiguration(
-            architectures=("cpu-host", self.architecture) if self.architecture != "cpu-host" else ("cpu-host",),
+            architectures=architectures,
             simulations=(self.simulation,),
             task_counts=self.task_counts,
             samples_per_technique=self.calibration_samples,
@@ -83,41 +86,23 @@ class MachineCalibration:
             sample_points=len(corpus.select(self.architecture, technique)),
         )
 
-    def calibrate_all(self, techniques: tuple[str, ...] = ("raytrace", "raster", "volume")) -> dict[str, CalibrationResult]:
+    def calibrate_all(
+        self, techniques: tuple[str, ...] = ("raytrace", "raster", "volume")
+    ) -> dict[str, CalibrationResult]:
         """Calibrate every technique; returns results keyed by technique."""
         return {technique: self.calibrate(technique) for technique in techniques}
 
     # -- internals -------------------------------------------------------------------
     def _run_technique(self, technique: str):
-        """Run only the requested technique's calibration sweep."""
-        original = self._harness.config.techniques
-        self._harness.config = StudyConfiguration(
-            architectures=self._harness.config.architectures,
-            techniques=(technique,),
-            simulations=self._harness.config.simulations,
-            task_counts=self._harness.config.task_counts,
-            samples_per_technique=self._harness.config.samples_per_technique,
-            image_size_range=self._harness.config.image_size_range,
-            cells_per_task_range=self._harness.config.cells_per_task_range,
-            samples_in_depth=self._harness.config.samples_in_depth,
-            max_sampled_ranks=self._harness.config.max_sampled_ranks,
-            seed=self._harness.config.seed,
+        """Run only the requested technique's calibration sweep.
+
+        The harness is handed a single-technique copy of the calibration
+        configuration; the stored configuration itself is never mutated, so
+        repeated/interleaved ``calibrate`` calls stay independent.
+        """
+        return StudyHarness(replace(self._harness.config, techniques=(technique,))).run(
+            include_compositing=False
         )
-        try:
-            return self._harness.run(include_compositing=False)
-        finally:
-            self._harness.config = StudyConfiguration(
-                architectures=self._harness.config.architectures,
-                techniques=original,
-                simulations=self._harness.config.simulations,
-                task_counts=self._harness.config.task_counts,
-                samples_per_technique=self._harness.config.samples_per_technique,
-                image_size_range=self._harness.config.image_size_range,
-                cells_per_task_range=self._harness.config.cells_per_task_range,
-                samples_in_depth=self._harness.config.samples_in_depth,
-                max_sampled_ranks=self._harness.config.max_sampled_ranks,
-                seed=self._harness.config.seed,
-            )
 
 
 def validate_large_scale_prediction(

@@ -54,6 +54,17 @@ class CrossValidationSummary:
             "average_percent": self.average_error_percent,
         }
 
+    def to_payload(self) -> dict:
+        """JSON-serializable form (Figure 11/13 data plus the Table 13 row)."""
+        return {
+            "num_folds": self.num_folds,
+            "fold_r_squared": [float(value) for value in self.fold_r_squared],
+            "errors": [float(value) for value in self.errors],
+            "predictions": [float(value) for value in self.predictions],
+            "actuals": [float(value) for value in self.actuals],
+            "accuracy": self.accuracy_row(),
+        }
+
 
 def k_fold_cross_validation(
     design: np.ndarray,

@@ -39,6 +39,16 @@ class BudgetPoint:
     seconds_per_image: float
     images_in_budget: int
 
+    def as_dict(self) -> dict[str, float | int | str]:
+        """JSON-serializable row (the Figure 14 data emitter's unit)."""
+        return {
+            "architecture": self.architecture,
+            "technique": self.technique,
+            "image_size": int(self.image_size),
+            "seconds_per_image": float(self.seconds_per_image),
+            "images_in_budget": int(self.images_in_budget),
+        }
+
 
 def _predict_frame_seconds(
     model: object,

@@ -35,6 +35,8 @@ from repro.rendering.result import ObservedFeatures, RenderResult
 __all__ = [
     "RenderingConfiguration",
     "map_configuration_to_features",
+    "map_configuration_batch",
+    "feature_arrays",
     "features_from_result",
     "compositing_features_from_result",
     "CAMERA_FILL_FRACTION",
@@ -143,6 +145,85 @@ def map_configuration_to_features(config: RenderingConfiguration) -> ObservedFea
         scale = config.samples_in_depth / 1000.0
         features.samples_per_ray = SAMPLES_PER_RAY_BASELINE * scale / task_shrink
     return features
+
+
+def map_configuration_batch(
+    technique: str,
+    num_tasks: np.ndarray,
+    cells_per_task: np.ndarray,
+    image_width: np.ndarray,
+    image_height: np.ndarray,
+    samples_in_depth: np.ndarray | int = 1000,
+) -> dict[str, np.ndarray]:
+    """Vectorized :func:`map_configuration_to_features` over arrays of configurations.
+
+    All parameters broadcast against each other; the result is a dictionary of
+    1-D float64 arrays keyed like :meth:`ObservedFeatures` attribute names.
+    Element for element the mapping is exactly the scalar one (same rounding,
+    same clamps), so the batch :class:`~repro.reporting.predictor.Predictor`
+    and the scalar prediction path agree bit for bit.
+    """
+    if technique not in TECHNIQUES:
+        raise ValueError(f"unknown technique {technique!r}; choose from {TECHNIQUES}")
+    num_tasks, cells, width, height, samples = np.broadcast_arrays(
+        np.atleast_1d(np.asarray(num_tasks, dtype=np.float64)),
+        np.atleast_1d(np.asarray(cells_per_task, dtype=np.float64)),
+        np.atleast_1d(np.asarray(image_width, dtype=np.float64)),
+        np.atleast_1d(np.asarray(image_height, dtype=np.float64)),
+        np.atleast_1d(np.asarray(samples_in_depth, dtype=np.float64)),
+    )
+    if np.any(num_tasks < 1) or np.any(cells < 1) or np.any(width < 1) or np.any(height < 1):
+        raise ValueError("num_tasks, cells_per_task, and image dimensions must be positive")
+    # numpy's array power differs from CPython's scalar ``**`` by one ulp for
+    # some inputs (e.g. 127 ** (1/3)), which would let a rounded active-pixel
+    # count diverge between the scalar and batch mappings.  The cube root is
+    # therefore taken with scalar pow per element; everything downstream stays
+    # vectorized.
+    task_shrink = np.array([value ** (1.0 / 3.0) for value in num_tasks.tolist()], dtype=np.float64)
+    pixels = width * height
+    active_pixels = np.rint(CAMERA_FILL_FRACTION * pixels / task_shrink)
+
+    if technique in ("raytrace", "raster"):
+        objects = np.floor(12.0 * cells * cells)
+    else:
+        objects = np.floor(cells**3)
+
+    arrays = {
+        "objects": objects,
+        "active_pixels": active_pixels,
+        "visible_objects": np.zeros_like(active_pixels),
+        "pixels_per_triangle": np.zeros_like(active_pixels),
+        "samples_per_ray": np.zeros_like(active_pixels),
+        "cells_spanned": cells.copy(),
+    }
+    if technique == "raster":
+        visible = np.minimum(active_pixels, objects)
+        arrays["visible_objects"] = visible
+        arrays["pixels_per_triangle"] = (
+            PIXELS_PER_TRIANGLE_FACTOR * active_pixels / np.maximum(visible, 1.0)
+        )
+    if technique in ("volume", "volume_unstructured"):
+        scale = samples / 1000.0
+        arrays["samples_per_ray"] = SAMPLES_PER_RAY_BASELINE * scale / task_shrink
+    return arrays
+
+
+def feature_arrays(feature_list: list[ObservedFeatures]) -> dict[str, np.ndarray]:
+    """Column arrays (float64) for a list of observed features.
+
+    The batch prediction path consumes these; values equal ``float(attr)`` of
+    the scalar design-matrix rows, so vectorized and scalar designs coincide.
+    """
+    return {
+        "objects": np.array([float(f.objects) for f in feature_list], dtype=np.float64),
+        "active_pixels": np.array([float(f.active_pixels) for f in feature_list], dtype=np.float64),
+        "visible_objects": np.array([float(f.visible_objects) for f in feature_list], dtype=np.float64),
+        "pixels_per_triangle": np.array(
+            [float(f.pixels_per_triangle) for f in feature_list], dtype=np.float64
+        ),
+        "samples_per_ray": np.array([float(f.samples_per_ray) for f in feature_list], dtype=np.float64),
+        "cells_spanned": np.array([float(f.cells_spanned) for f in feature_list], dtype=np.float64),
+    }
 
 
 def features_from_result(result: RenderResult) -> dict[str, float | str]:

@@ -71,6 +71,17 @@ class SingleTermModel:
     def term_row(self, features: ObservedFeatures) -> np.ndarray:
         raise NotImplementedError
 
+    @staticmethod
+    def term_matrix(arrays: dict[str, np.ndarray]) -> np.ndarray:
+        """Vectorized design matrix from feature column arrays.
+
+        ``arrays`` maps :class:`ObservedFeatures` attribute names to aligned
+        float64 columns (see :func:`repro.modeling.features.feature_arrays`).
+        Row ``i`` equals :meth:`term_row` of observation ``i`` exactly -- the
+        batch :class:`~repro.reporting.predictor.Predictor` relies on that.
+        """
+        raise NotImplementedError
+
     def design_matrix(self, feature_list: list[ObservedFeatures]) -> np.ndarray:
         """Design matrix for a list of observations."""
         return np.array([self.term_row(features) for features in feature_list], dtype=np.float64)
@@ -133,6 +144,14 @@ class RasterizationModel(SingleTermModel):
             ]
         )
 
+    @staticmethod
+    def term_matrix(arrays: dict[str, np.ndarray]) -> np.ndarray:
+        objects = np.asarray(arrays["objects"], dtype=np.float64)
+        candidates = np.asarray(arrays["visible_objects"], dtype=np.float64) * np.asarray(
+            arrays["pixels_per_triangle"], dtype=np.float64
+        )
+        return np.stack([objects, candidates, np.ones_like(objects)], axis=1)
+
 
 class VolumeRenderingModel(SingleTermModel):
     """Equation 5.3: ``c0 * (AP * CS) + c1 * (AP * SPR) + c2``."""
@@ -149,6 +168,13 @@ class VolumeRenderingModel(SingleTermModel):
                 1.0,
             ]
         )
+
+    @staticmethod
+    def term_matrix(arrays: dict[str, np.ndarray]) -> np.ndarray:
+        active = np.asarray(arrays["active_pixels"], dtype=np.float64)
+        cells = np.asarray(arrays["cells_spanned"], dtype=np.float64)
+        samples = np.asarray(arrays["samples_per_ray"], dtype=np.float64)
+        return np.stack([active * cells, active * samples, np.ones_like(active)], axis=1)
 
 
 @dataclass
@@ -169,6 +195,12 @@ class CompositingModel(SingleTermModel):
 
     def term_row(self, features: CompositingFeatures) -> np.ndarray:  # type: ignore[override]
         return np.array([float(features.average_active_pixels), float(features.pixels), 1.0])
+
+    @staticmethod
+    def term_matrix(arrays: dict[str, np.ndarray]) -> np.ndarray:
+        active = np.asarray(arrays["average_active_pixels"], dtype=np.float64)
+        pixels = np.asarray(arrays["pixels"], dtype=np.float64)
+        return np.stack([active, pixels, np.ones_like(active)], axis=1)
 
 
 class RayTracingModel:
@@ -192,6 +224,17 @@ class RayTracingModel:
         objects = max(float(features.objects), 2.0)
         active = float(features.active_pixels)
         return np.array([active * np.log2(objects), active, 1.0])
+
+    @staticmethod
+    def build_term_matrix(arrays: dict[str, np.ndarray]) -> np.ndarray:
+        objects = np.asarray(arrays["objects"], dtype=np.float64)
+        return np.stack([objects, np.ones_like(objects)], axis=1)
+
+    @staticmethod
+    def frame_term_matrix(arrays: dict[str, np.ndarray]) -> np.ndarray:
+        objects = np.maximum(np.asarray(arrays["objects"], dtype=np.float64), 2.0)
+        active = np.asarray(arrays["active_pixels"], dtype=np.float64)
+        return np.stack([active * np.log2(objects), active, np.ones_like(active)], axis=1)
 
     def build_design(self, feature_list: list[ObservedFeatures]) -> np.ndarray:
         return np.array([self.build_term_row(f) for f in feature_list])

@@ -182,6 +182,10 @@ class ExperimentRecord:
     phase_seconds: dict[str, float]
     build_seconds: float
     frame_seconds: float
+    #: Volume-sampling depth the experiment rendered (or mapped) with; 0 on
+    #: rows from pre-recording corpora.  The Table 16 mapping validation uses
+    #: it so the a-priori SPR term matches the experiment being validated.
+    samples_in_depth: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -267,6 +271,19 @@ class StudyCorpus:
 
     def techniques(self) -> list[str]:
         return sorted({r.technique for r in self.records})
+
+    def slices(self):
+        """Yield every non-empty ``(architecture, technique, rows)`` slice.
+
+        Deterministic (sorted) order -- the reporting suite iterates this to
+        fit the full model registry, so artifact files never depend on record
+        insertion order.
+        """
+        for architecture in self.architectures():
+            for technique in self.techniques():
+                rows = self.select(architecture, technique)
+                if rows:
+                    yield architecture, technique, rows
 
     # -- model fitting -----------------------------------------------------------------
     def fit_model(self, architecture: str, technique: str):
@@ -470,6 +487,7 @@ class StudyHarness:
             phase_seconds=phases,
             build_seconds=build,
             frame_seconds=frame,
+            samples_in_depth=self.config.samples_in_depth,
         )
 
     def run_synthetic_experiment(
@@ -539,6 +557,7 @@ class StudyHarness:
             phase_seconds=phases,
             build_seconds=build,
             frame_seconds=frame,
+            samples_in_depth=self.config.synthetic_samples_in_depth,
         )
 
     #: Pixel-blending throughput assumed for the compositing corpus (bytes of

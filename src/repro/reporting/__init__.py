@@ -1,0 +1,41 @@
+"""The corpus-to-paper reporting subsystem.
+
+Turns any study corpus (smoke or full) into the paper's deliverables and a
+reusable prediction API:
+
+* :mod:`repro.reporting.suite` -- :class:`ModelSuite`, the fitted-model
+  registry: every (architecture, technique) model plus compositing fitted in
+  one call, with k-fold accuracy, coefficient/residual diagnostics (negative
+  coefficients promoted to structured warnings), and serialization to a
+  versioned ``models.json``.
+* :mod:`repro.reporting.tables` / :mod:`repro.reporting.figures` -- emitters
+  for Tables 12-17 and Figures 11-15, each producing machine-checkable JSON
+  plus human-readable Markdown.
+* :mod:`repro.reporting.predictor` -- the vectorized batch :class:`Predictor`
+  serving thousands of configurations per call with residual-std bounded-error
+  intervals.
+* :mod:`repro.reporting.report` -- :func:`generate_report`, the deterministic
+  corpus -> artifact-tree orchestrator behind ``python -m repro.study report``.
+"""
+
+from repro.reporting.predictor import DEFAULT_INTERVAL_SIGMAS, PredictionBatch, Predictor
+from repro.reporting.report import REPORT_SCHEMA_VERSION, ReportResult, generate_report
+from repro.reporting.suite import (
+    MODELS_SCHEMA_VERSION,
+    COMPOSITING_ARCHITECTURE,
+    FittedModel,
+    ModelSuite,
+)
+
+__all__ = [
+    "COMPOSITING_ARCHITECTURE",
+    "DEFAULT_INTERVAL_SIGMAS",
+    "FittedModel",
+    "MODELS_SCHEMA_VERSION",
+    "ModelSuite",
+    "PredictionBatch",
+    "Predictor",
+    "REPORT_SCHEMA_VERSION",
+    "ReportResult",
+    "generate_report",
+]

@@ -1,0 +1,170 @@
+"""Vectorized batch prediction with bounded-error intervals -- the serving seam.
+
+A :class:`Predictor` wraps a :class:`~repro.reporting.suite.ModelSuite`
+(usually loaded from ``models.json``) and answers prediction queries for
+thousands of configurations per call:
+
+* :meth:`Predictor.predict_configurations` -- user-facing configurations
+  (tasks, data size, resolution) go through the vectorized Section 5.8
+  mapping (:func:`repro.modeling.features.map_configuration_batch`) and the
+  vectorized design matrices of :mod:`repro.modeling.models`; one BLAS
+  matrix-vector product per fit group serves the whole batch.
+* :meth:`Predictor.predict_features` -- observed (or pre-mapped) model inputs,
+  the path that reproduces a corpus's in-sample predictions bit for bit.
+* :meth:`Predictor.predict_compositing` -- Eq. 5.5 queries.
+
+Every answer is a :class:`PredictionBatch` carrying a symmetric
+residual-standard-deviation interval: ``seconds +- sigmas * residual_std``
+with the lower bound clipped at zero (run times are non-negative).  The
+interval is the fit's residual standard error -- the same "bounded error"
+contract the paper's Table 15 validation leans on -- not a formal prediction
+interval; DESIGN.md documents the contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.modeling.features import feature_arrays, map_configuration_batch
+from repro.modeling.models import CompositingModel, RayTracingModel
+from repro.rendering.result import ObservedFeatures
+from repro.reporting.suite import FittedModel, ModelSuite
+
+__all__ = ["PredictionBatch", "Predictor", "DEFAULT_INTERVAL_SIGMAS"]
+
+#: Interval half-width in residual standard deviations (~95% under normality).
+DEFAULT_INTERVAL_SIGMAS = 2.0
+
+
+@dataclass
+class PredictionBatch:
+    """Predicted seconds plus the bounded-error band for one query batch."""
+
+    seconds: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    residual_std: float
+    sigmas: float
+
+    def __len__(self) -> int:
+        return len(self.seconds)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (the ``predict`` CLI's output rows)."""
+        return {
+            "seconds": [float(value) for value in self.seconds],
+            "lower": [float(value) for value in self.lower],
+            "upper": [float(value) for value in self.upper],
+            "residual_std": float(self.residual_std),
+            "sigmas": float(self.sigmas),
+        }
+
+
+class Predictor:
+    """Batch prediction over every model of a fitted (or loaded) suite."""
+
+    def __init__(self, suite: ModelSuite) -> None:
+        self.suite = suite
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Predictor":
+        """Load a ``models.json`` written by :meth:`ModelSuite.save`."""
+        return cls(ModelSuite.load(path))
+
+    # -- introspection -----------------------------------------------------------------
+    def available(self) -> list[tuple[str, str]]:
+        """Sorted ``(architecture, technique)`` keys this predictor serves."""
+        keys = sorted(self.suite.entries)
+        if self.suite.compositing is not None:
+            keys.append(self.suite.compositing.key)
+        return keys
+
+    # -- prediction --------------------------------------------------------------------
+    def predict_features(
+        self,
+        architecture: str,
+        technique: str,
+        features: list[ObservedFeatures] | dict[str, np.ndarray],
+        include_build: bool = True,
+        sigmas: float = DEFAULT_INTERVAL_SIGMAS,
+    ) -> PredictionBatch:
+        """Predict from observed/mapped model inputs.
+
+        ``features`` is either a list of :class:`ObservedFeatures` (corpus
+        rows) or a dictionary of aligned column arrays.  On a fitted suite
+        this reproduces ``model.predict_many`` exactly (the round-trip
+        guarantee the reporting acceptance tests pin down).
+        """
+        entry = self.suite.get(architecture, technique)
+        arrays = features if isinstance(features, dict) else feature_arrays(features)
+        return self._predict_entry(entry, arrays, include_build, sigmas)
+
+    def predict_configurations(
+        self,
+        architecture: str,
+        technique: str,
+        num_tasks: np.ndarray | int,
+        cells_per_task: np.ndarray | int,
+        image_width: np.ndarray | int,
+        image_height: np.ndarray | int,
+        samples_in_depth: np.ndarray | int = 1000,
+        include_build: bool = True,
+        sigmas: float = DEFAULT_INTERVAL_SIGMAS,
+    ) -> PredictionBatch:
+        """Predict user-facing configurations through the Section 5.8 mapping.
+
+        All configuration parameters broadcast, so a resolution sweep is one
+        call with an array of image sizes; the whole batch is mapped and
+        predicted vectorized.
+        """
+        arrays = map_configuration_batch(
+            technique, num_tasks, cells_per_task, image_width, image_height, samples_in_depth
+        )
+        return self.predict_features(architecture, technique, arrays, include_build, sigmas)
+
+    def predict_compositing(
+        self,
+        average_active_pixels: np.ndarray | float,
+        pixels: np.ndarray | int,
+        sigmas: float = DEFAULT_INTERVAL_SIGMAS,
+    ) -> PredictionBatch:
+        """Predict Eq. 5.5 compositing times for a batch of (avg AP, pixels)."""
+        entry = self.suite.get("", "compositing")
+        active, pixel_counts = np.broadcast_arrays(
+            np.atleast_1d(np.asarray(average_active_pixels, dtype=np.float64)),
+            np.atleast_1d(np.asarray(pixels, dtype=np.float64)),
+        )
+        arrays = {"average_active_pixels": active, "pixels": pixel_counts}
+        return self._predict_entry(entry, arrays, include_build=False, sigmas=sigmas)
+
+    # -- internals ---------------------------------------------------------------------
+    def _predict_entry(
+        self, entry: FittedModel, arrays: dict[str, np.ndarray], include_build: bool, sigmas: float
+    ) -> PredictionBatch:
+        model = entry.model
+        if isinstance(model, RayTracingModel):
+            seconds = model.frame_fit.predict(RayTracingModel.frame_term_matrix(arrays))
+            variance = model.frame_fit.residual_std**2
+            if include_build:
+                seconds = seconds + model.build_fit.predict(RayTracingModel.build_term_matrix(arrays))
+                variance += model.build_fit.residual_std**2
+            residual_std = float(np.sqrt(variance))
+        elif isinstance(model, CompositingModel):
+            fit = model.fit_result
+            seconds = fit.predict(CompositingModel.term_matrix(arrays))
+            residual_std = float(fit.residual_std)
+        else:
+            fit = model.fit_result
+            seconds = fit.predict(type(model).term_matrix(arrays))
+            residual_std = float(fit.residual_std)
+        half_width = sigmas * residual_std
+        return PredictionBatch(
+            seconds=seconds,
+            lower=np.maximum(seconds - half_width, 0.0),
+            upper=seconds + half_width,
+            residual_std=residual_std,
+            sigmas=float(sigmas),
+        )

@@ -13,11 +13,19 @@ Subcommands
     Concatenate corpus files (e.g. per-architecture shards).
 ``fit``
     Load a corpus and report the fitted models (Table 12's R^2 view) plus
-    optional cross-validation accuracy rows.
+    optional cross-validation accuracy rows, through the
+    :class:`~repro.reporting.suite.ModelSuite` registry.
+``report``
+    Corpus -> full artifact tree: ``models.json``, Tables 12-17 and Figures
+    11-15 as JSON + Markdown, manifest, and the consolidated ``report.md``.
+``predict``
+    Load a ``models.json`` and serve batch predictions with bounded-error
+    intervals for inline or file-supplied configurations.
 
 Exit codes: 0 success; 2 argument/usage errors (argparse); 3 a ``run`` with
 ``--require-cached`` executed at least one experiment; 4 a ``run`` recorded
-failure rows.
+failure rows; 5 a ``fit``/``report`` where *every* fit was degenerate (the
+structured failure report is printed as JSON).
 """
 
 from __future__ import annotations
@@ -32,6 +40,9 @@ from repro.study.cache import CorpusCache
 from repro.study.corpus_io import load_corpus, merge_corpora, save_corpus
 from repro.study.executor import run_plan
 from repro.study.plan import build_plan, full_configuration, smoke_configuration
+
+#: Exit code of a fit/report whose every slice was degenerate.
+EXIT_ALL_FITS_DEGENERATE = 5
 
 __all__ = ["main", "build_parser"]
 
@@ -125,6 +136,31 @@ def build_parser() -> argparse.ArgumentParser:
     fit_parser.add_argument("--folds", type=int, default=3)
     fit_parser.add_argument("--seed", type=int, default=2016, help="cross-validation shuffle seed")
 
+    report_parser = commands.add_parser(
+        "report", help="corpus -> models.json + Tables 12-17 / Figures 11-15 (JSON + Markdown)"
+    )
+    report_parser.add_argument("corpus")
+    report_parser.add_argument("--out-dir", default="study-report", help="artifact tree root")
+    report_parser.add_argument("--folds", type=int, default=3)
+    report_parser.add_argument("--seed", type=int, default=2016, help="cross-validation shuffle seed")
+
+    predict_parser = commands.add_parser(
+        "predict", help="serve batch predictions with intervals from a models.json"
+    )
+    predict_parser.add_argument("models", help="models.json written by `report` (or ModelSuite.save)")
+    predict_parser.add_argument("--configs", help="JSON file: list of configuration objects")
+    predict_parser.add_argument("--architecture", help="inline configuration: architecture")
+    predict_parser.add_argument("--technique", help="inline configuration: technique")
+    predict_parser.add_argument("--num-tasks", type=int, default=32)
+    predict_parser.add_argument("--cells-per-task", type=int, default=200)
+    predict_parser.add_argument("--image-size", type=int, default=1024, help="square image edge")
+    predict_parser.add_argument("--samples-in-depth", type=int, default=1000)
+    predict_parser.add_argument("--no-build", action="store_true", help="exclude the BVH build")
+    predict_parser.add_argument(
+        "--sigmas", type=float, default=2.0, help="interval half-width in residual stds"
+    )
+    predict_parser.add_argument("--out", help="write the prediction JSON here instead of stdout")
+
     return parser
 
 
@@ -194,29 +230,186 @@ def _command_merge(args) -> int:
     return 0
 
 
-def _command_fit(args) -> int:
-    corpus = load_corpus(args.corpus)
+def _print_corpus_line(corpus) -> None:
     print(
         f"corpus: {len(corpus.records)} rendering rows, "
         f"{len(corpus.compositing_records)} compositing rows, "
         f"{len(corpus.failures)} failures"
     )
-    models = corpus.fit_all_models()
-    for (architecture, technique), model in sorted(models.items()):
-        line = f"  {architecture:12s} {technique:20s} R^2={model.r_squared:.4f}"
+
+
+def _degenerate_exit(suite) -> int:
+    """The all-degenerate outcome: a structured JSON failure report, exit 5."""
+    print(
+        json.dumps(
+            {"error": "all-fits-degenerate", "failures": suite.failures},
+            indent=2,
+            sort_keys=True,
+        )
+    )
+    print("error: no model could be fitted from this corpus", file=sys.stderr)
+    return EXIT_ALL_FITS_DEGENERATE
+
+
+def _command_fit(args) -> int:
+    from repro.reporting.suite import ModelSuite
+
+    corpus = load_corpus(args.corpus)
+    _print_corpus_line(corpus)
+    suite = ModelSuite.fit_corpus(corpus, folds=args.folds, seed=args.seed)
+    for entry in suite.all_entries():
+        label = entry.technique
+        if entry.technique == "compositing":
+            label = f"compositing ({entry.num_rows} rows)"
+        line = f"  {entry.architecture:12s} {label:20s} R^2={entry.model.r_squared:.4f}"
         if args.crossval:
-            try:
-                summary = corpus.cross_validate(architecture, technique, k=args.folds, seed=args.seed)
-            except ValueError as error:
-                line += f"  crossval skipped ({error})"
+            if entry.crossval_accuracy is None:
+                line += f"  crossval skipped ({entry.crossval_skipped})"
             else:
-                row = summary.accuracy_row()
+                row = entry.crossval_accuracy
                 line += f"  within50={row['within_50']:.0f}% avg={row['average_percent']:.1f}%"
         print(line)
-    if corpus.compositing_records:
-        compositing = corpus.fit_compositing_model()
-        print(f"  compositing ({len(corpus.compositing_records)} rows) R^2={compositing.r_squared:.4f}")
+    for failure in suite.failures:
+        print(
+            f"  DEGENERATE {failure['architecture']}/{failure['technique']}: "
+            f"{failure['message']} ({failure['num_rows']} rows)",
+            file=sys.stderr,
+        )
+    for warning in suite.all_warnings():
+        print(f"  WARNING {json.dumps(warning, sort_keys=True)}", file=sys.stderr)
+    if suite.is_empty():
+        return _degenerate_exit(suite)
     return 0
+
+
+def _command_report(args) -> int:
+    from repro.reporting.report import generate_report
+
+    corpus = load_corpus(args.corpus)
+    _print_corpus_line(corpus)
+    result = generate_report(corpus, args.out_dir, folds=args.folds, seed=args.seed)
+    print(
+        f"report: {len(result.suite.entries)} renderer models"
+        + (" + compositing" if result.suite.compositing is not None else "")
+        + f", {len(result.suite.failures)} degenerate fits, "
+        f"{len(result.suite.all_warnings())} warnings -> {result.out_dir}"
+    )
+    print(f"  models:   {result.models_path}")
+    print(f"  markdown: {result.markdown_path}")
+    if result.suite.is_empty():
+        return _degenerate_exit(result.suite)
+    return 0
+
+
+def _command_predict(args) -> int:
+    from repro.reporting.predictor import Predictor
+
+    predictor = Predictor.load(args.models)
+    if args.configs:
+        with open(args.configs, encoding="utf-8") as handle:
+            configs = json.load(handle)
+        if not isinstance(configs, list):
+            print("error: --configs must hold a JSON list of configuration objects", file=sys.stderr)
+            return 2
+    else:
+        if not args.architecture or not args.technique:
+            print(
+                "error: pass --configs FILE, or an inline --architecture and --technique",
+                file=sys.stderr,
+            )
+            return 2
+        configs = [
+            {
+                "architecture": args.architecture,
+                "technique": args.technique,
+                "num_tasks": args.num_tasks,
+                "cells_per_task": args.cells_per_task,
+                "image_width": args.image_size,
+                "image_height": args.image_size,
+                "samples_in_depth": args.samples_in_depth,
+                "include_build": not args.no_build,
+            }
+        ]
+
+    try:
+        rows = _predict_rows(predictor, configs, args.sigmas)
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    payload = {"models": args.models, "sigmas": args.sigmas, "predictions": rows}
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(rows)} predictions -> {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _predict_rows(predictor, configs: list[dict], sigmas: float) -> list[dict]:
+    """Batch-predict a heterogeneous config list, vectorized per model group.
+
+    Configurations are grouped by ``(architecture, technique, include_build)``
+    so each fitted model serves its whole group in one vectorized call; rows
+    come back in input order.
+    """
+    import numpy as np
+
+    groups: dict[tuple[str, str, bool], list[int]] = {}
+    for index, config in enumerate(configs):
+        key = (
+            config["architecture"],
+            config["technique"],
+            bool(config.get("include_build", True)),
+        )
+        groups.setdefault(key, []).append(index)
+    rows: list[dict | None] = [None] * len(configs)
+    for (architecture, technique, include_build), indices in groups.items():
+        if technique == "compositing":
+            # Eq. 5.5 queries carry their own inputs (no render mapping).
+            needed = ("average_active_pixels", "pixels")
+            if any(key not in configs[i] for i in indices for key in needed):
+                raise ValueError(
+                    "compositing configurations need 'average_active_pixels' and 'pixels' keys"
+                )
+            batch = predictor.predict_compositing(
+                average_active_pixels=np.array(
+                    [float(configs[i]["average_active_pixels"]) for i in indices]
+                ),
+                pixels=np.array([int(configs[i]["pixels"]) for i in indices]),
+                sigmas=sigmas,
+            )
+            for position, index in enumerate(indices):
+                rows[index] = {
+                    **configs[index],
+                    "seconds": float(batch.seconds[position]),
+                    "lower": float(batch.lower[position]),
+                    "upper": float(batch.upper[position]),
+                    "residual_std": batch.residual_std,
+                }
+            continue
+        batch = predictor.predict_configurations(
+            architecture,
+            technique,
+            num_tasks=np.array([configs[i].get("num_tasks", 32) for i in indices]),
+            cells_per_task=np.array([configs[i].get("cells_per_task", 200) for i in indices]),
+            image_width=np.array([configs[i].get("image_width", 1024) for i in indices]),
+            image_height=np.array([configs[i].get("image_height", 1024) for i in indices]),
+            samples_in_depth=np.array([configs[i].get("samples_in_depth", 1000) for i in indices]),
+            include_build=include_build,
+            sigmas=sigmas,
+        )
+        for position, index in enumerate(indices):
+            rows[index] = {
+                **configs[index],
+                "seconds": float(batch.seconds[position]),
+                "lower": float(batch.lower[position]),
+                "upper": float(batch.upper[position]),
+                "residual_std": batch.residual_std,
+            }
+    return rows
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -226,6 +419,8 @@ def main(argv: list[str] | None = None) -> int:
         "run": _command_run,
         "merge": _command_merge,
         "fit": _command_fit,
+        "report": _command_report,
+        "predict": _command_predict,
     }[args.command]
     return command(args)
 

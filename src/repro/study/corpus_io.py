@@ -9,6 +9,7 @@ guards shape changes.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -31,6 +32,7 @@ __all__ = [
     "record_from_payload",
     "corpus_to_payload",
     "corpus_from_payload",
+    "corpus_digest",
     "save_corpus",
     "load_corpus",
     "merge_corpora",
@@ -62,6 +64,7 @@ def experiment_record_to_payload(record: ExperimentRecord) -> dict:
         "phase_seconds": dict(record.phase_seconds),
         "build_seconds": record.build_seconds,
         "frame_seconds": record.frame_seconds,
+        "samples_in_depth": record.samples_in_depth,
     }
 
 
@@ -86,6 +89,7 @@ def experiment_record_from_payload(payload: dict) -> ExperimentRecord:
         phase_seconds={name: float(value) for name, value in payload["phase_seconds"].items()},
         build_seconds=float(payload["build_seconds"]),
         frame_seconds=float(payload["frame_seconds"]),
+        samples_in_depth=int(payload.get("samples_in_depth", 0)),
     )
 
 
@@ -173,6 +177,17 @@ def corpus_from_payload(payload: dict) -> StudyCorpus:
         ],
         failures=[failure_record_from_payload(r) for r in payload.get("failures", [])],
     )
+
+
+def corpus_digest(corpus: StudyCorpus) -> str:
+    """Content digest of a corpus (sha256 over the canonical row payload).
+
+    Metadata is excluded on purpose: two corpus files holding the same rows
+    hash identically, so report artifacts regenerated from either are
+    byte-for-byte the same.
+    """
+    canonical = json.dumps(corpus_to_payload(corpus), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def save_corpus(corpus: StudyCorpus, path: str | Path, metadata: dict | None = None) -> Path:

@@ -1,0 +1,243 @@
+"""Golden paths of the Section 5.7/5.9 analyses: feasibility curves and calibration.
+
+The feasibility tests pin the Figure 14 budget arithmetic and the Figure 15
+ratio grid to hand-computed values via models with chosen coefficients; the
+calibration tests run the small-sample Titan-style workflow end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machines import KernelCostModel
+from repro.modeling import RenderingConfiguration, map_configuration_to_features
+from repro.modeling.calibration import MachineCalibration, validate_large_scale_prediction
+from repro.modeling.feasibility import images_within_budget, raytracing_vs_rasterization
+from repro.modeling.models import (
+    CompositingModel,
+    RasterizationModel,
+    RayTracingModel,
+    VolumeRenderingModel,
+)
+from repro.modeling.regression import LinearRegressionResult
+
+
+def _fit(coefficients, term_names, residual_std=0.01) -> LinearRegressionResult:
+    return LinearRegressionResult(
+        coefficients=np.asarray(coefficients, dtype=np.float64),
+        r_squared=0.99,
+        residual_std=residual_std,
+        num_observations=12,
+        term_names=term_names,
+    )
+
+
+def _hand_raytracer(build=(1e-6, 0.01), frame=(0.0, 1e-6, 0.02)) -> RayTracingModel:
+    model = RayTracingModel()
+    model.build_fit = _fit(build, RayTracingModel.build_term_names)
+    model.frame_fit = _fit(frame, RayTracingModel.frame_term_names)
+    return model
+
+
+def _hand_volume(coefficients=(1e-9, 2e-8, 0.005)) -> VolumeRenderingModel:
+    model = VolumeRenderingModel()
+    model.fit_result = _fit(coefficients, VolumeRenderingModel.term_names)
+    return model
+
+
+def _hand_raster(coefficients=(1e-7, 3e-7, 0.001)) -> RasterizationModel:
+    model = RasterizationModel()
+    model.fit_result = _fit(coefficients, RasterizationModel.term_names)
+    return model
+
+
+def _hand_compositing(coefficients=(1e-7, 1e-8, 0.002)) -> CompositingModel:
+    model = CompositingModel()
+    model.fit_result = _fit(coefficients, CompositingModel.term_names)
+    return model
+
+
+class TestImagesWithinBudget:
+    """Figure 14: the budget curves, pinned to hand-computed arithmetic."""
+
+    def test_raytracer_counts_match_hand_computation(self):
+        model = _hand_raytracer()
+        points = images_within_budget(
+            {("archA", "raytrace"): model},
+            budget_seconds=60.0,
+            num_tasks=32,
+            cells_per_task=200,
+            image_sizes=np.array([1024, 2048]),
+        )
+        assert [p.image_size for p in points] == [1024, 2048]
+        for point in points:
+            config = RenderingConfiguration(
+                technique="raytrace",
+                architecture="archA",
+                num_tasks=32,
+                cells_per_task=200,
+                image_width=point.image_size,
+                image_height=point.image_size,
+            )
+            features = map_configuration_to_features(config)
+            # frame = c3 * AP + c4 (the log-term coefficient is zero);
+            # build = c0 * O + c1, paid once and subtracted from the budget.
+            frame = 1e-6 * features.active_pixels + 0.02
+            build = 1e-6 * features.objects + 0.01
+            assert point.seconds_per_image == pytest.approx(frame, rel=1e-12)
+            assert point.images_in_budget == int((60.0 - build) // frame)
+
+    def test_counts_shrink_with_image_size_and_respect_build_amortization(self):
+        model = _hand_raytracer()
+        points = images_within_budget(
+            {("archA", "raytrace"): model},
+            budget_seconds=60.0,
+            image_sizes=np.array([1024, 1536, 2048, 3072, 4096]),
+        )
+        counts = [p.images_in_budget for p in points]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+        assert counts[0] > 0
+
+    def test_build_larger_than_budget_yields_zero_images(self):
+        model = _hand_raytracer(build=(1e-6, 120.0))  # 2-minute fixed build
+        [point] = images_within_budget(
+            {("archA", "raytrace"): model}, budget_seconds=60.0, image_sizes=np.array([1024])
+        )
+        assert point.images_in_budget == 0
+
+    def test_compositing_model_adds_per_frame_cost(self):
+        model = _hand_volume()
+        without = images_within_budget(
+            {("archA", "volume"): model}, budget_seconds=60.0, image_sizes=np.array([1024])
+        )
+        with_comp = images_within_budget(
+            {("archA", "volume"): model},
+            budget_seconds=60.0,
+            image_sizes=np.array([1024]),
+            compositing_model=_hand_compositing(),
+        )
+        assert with_comp[0].seconds_per_image > without[0].seconds_per_image
+        assert with_comp[0].images_in_budget <= without[0].images_in_budget
+
+    def test_every_fitted_model_contributes_a_curve(self):
+        models = {
+            ("archA", "raytrace"): _hand_raytracer(),
+            ("archA", "volume"): _hand_volume(),
+            ("archB", "raster"): _hand_raster(),
+        }
+        points = images_within_budget(models, image_sizes=np.array([1024, 2048]))
+        assert len(points) == len(models) * 2
+        assert {(p.architecture, p.technique) for p in points} == set(models)
+
+    def test_budget_point_as_dict_round_trips_through_json(self):
+        import json
+
+        [point] = images_within_budget(
+            {("archA", "volume"): _hand_volume()}, image_sizes=np.array([1024])
+        )
+        payload = json.loads(json.dumps(point.as_dict()))
+        assert payload["architecture"] == "archA"
+        assert payload["images_in_budget"] == point.images_in_budget
+
+
+class TestRaytracingVsRasterization:
+    """Figure 15: the ratio grid, pinned cell-by-cell to the two models."""
+
+    def test_grid_shape_and_hand_computed_cell(self):
+        raytracer = _hand_raytracer()
+        raster = _hand_raster()
+        image_sizes = np.array([512, 1024, 2048])
+        data_sizes = np.array([100, 300])
+        heat = raytracing_vs_rasterization(
+            raytracer, raster, "archA", num_tasks=32, num_renderings=100,
+            image_sizes=image_sizes, data_sizes=data_sizes,
+        )
+        assert heat["ratio"].shape == (2, 3)
+        row, column = 1, 2  # 300^3 cells at 2048^2
+        rt_config = RenderingConfiguration(
+            technique="raytrace", architecture="archA", num_tasks=32,
+            cells_per_task=300, image_width=2048, image_height=2048,
+        )
+        rast_config = RenderingConfiguration(
+            technique="raster", architecture="archA", num_tasks=32,
+            cells_per_task=300, image_width=2048, image_height=2048,
+        )
+        rt_features = map_configuration_to_features(rt_config)
+        rast_features = map_configuration_to_features(rast_config)
+        rt_total = (
+            raytracer.predict(rt_features) - raytracer.predict(rt_features, include_build=False)
+        ) + 100 * raytracer.predict(rt_features, include_build=False)
+        rast_total = 100 * raster.predict(rast_features)
+        assert heat["ratio"][row, column] == pytest.approx(rast_total / rt_total, rel=1e-12)
+
+    def test_amortised_build_favors_ray_tracing_as_renderings_grow(self):
+        raytracer = _hand_raytracer(build=(1e-5, 1.0))
+        raster = _hand_raster()
+        kwargs = dict(image_sizes=np.array([1024]), data_sizes=np.array([200]))
+        few = raytracing_vs_rasterization(raytracer, raster, "archA", num_renderings=1, **kwargs)
+        many = raytracing_vs_rasterization(raytracer, raster, "archA", num_renderings=1000, **kwargs)
+        assert many["ratio"][0, 0] > few["ratio"][0, 0]
+
+    def test_axes_are_returned_as_given(self):
+        heat = raytracing_vs_rasterization(
+            _hand_raytracer(), _hand_raster(), "archA",
+            image_sizes=np.array([384, 768]), data_sizes=np.array([100, 200, 400]),
+        )
+        assert np.array_equal(heat["image_sizes"], [384, 768])
+        assert np.array_equal(heat["data_sizes"], [100, 200, 400])
+
+
+class TestMachineCalibration:
+    """The Section 5.7 workflow: small-sample calibration, large-scale prediction."""
+
+    @pytest.fixture(scope="class")
+    def calibration(self):
+        calibrator = MachineCalibration(
+            "gpu1-k40m", simulation="cloverleaf", calibration_samples=6, seed=5, task_counts=(1, 2)
+        )
+        return calibrator.calibrate("raster")
+
+    def test_calibration_fits_from_the_small_sample(self, calibration):
+        assert calibration.architecture == "gpu1-k40m"
+        assert calibration.technique == "raster"
+        assert calibration.sample_points == 6
+        assert calibration.model.r_squared > 0.0
+
+    def test_prediction_goes_through_the_mapping(self, calibration):
+        config = RenderingConfiguration(
+            technique="raster", architecture="gpu1-k40m", num_tasks=1024,
+            cells_per_task=252, image_width=2048, image_height=2048,
+        )
+        predicted = calibration.predict_configuration(config)
+        features = map_configuration_to_features(config)
+        assert predicted == pytest.approx(calibration.model.predict(features), rel=1e-12)
+        assert predicted > 0.0
+
+    def test_validate_large_scale_prediction_row(self, calibration):
+        config = RenderingConfiguration(
+            technique="raster", architecture="gpu1-k40m", num_tasks=1024,
+            cells_per_task=252, image_width=2048, image_height=2048,
+        )
+        oracle = KernelCostModel("gpu1-k40m", seed=314)
+        features = map_configuration_to_features(config)
+        measured = oracle.total("raster", features, include_build=False)
+        row = validate_large_scale_prediction(calibration, config, measured)
+        assert set(row) == {"actual_seconds", "predicted_seconds", "difference_percent", "sample_points"}
+        assert row["actual_seconds"] == pytest.approx(measured)
+        assert row["sample_points"] == 6.0
+        expected = 100.0 * (row["predicted_seconds"] - measured) / measured
+        assert row["difference_percent"] == pytest.approx(expected, rel=1e-9)
+
+    def test_repeated_calibration_is_deterministic_and_isolated(self):
+        calibrator = MachineCalibration(
+            "gpu1-k40m", simulation="kripke", calibration_samples=6, seed=11, task_counts=(1, 2)
+        )
+        first = calibrator.calibrate("raster")
+        # The stored configuration is never mutated by a calibrate call ...
+        assert calibrator._harness.config.techniques == ("raytrace", "raster", "volume")
+        second = calibrator.calibrate("raster")
+        # ... so synthetic-architecture refits reproduce coefficients exactly.
+        assert np.array_equal(
+            first.model.fit_result.coefficients, second.model.fit_result.coefficients
+        )

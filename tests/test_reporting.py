@@ -1,0 +1,514 @@
+"""The reporting subsystem: suite registry, artifacts, predictor, CLI, guard logic."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.modeling.features import (
+    RenderingConfiguration,
+    feature_arrays,
+    map_configuration_batch,
+    map_configuration_to_features,
+)
+from repro.modeling.models import CompositingModel, RayTracingModel
+from repro.modeling.regression import LinearRegressionResult
+from repro.modeling.study import StudyConfiguration, StudyCorpus, StudyHarness
+from repro.reporting import ModelSuite, Predictor, generate_report
+from repro.reporting.suite import MODELS_SCHEMA_VERSION, FittedModel, _coefficient_warnings
+from repro.study import cli as study_cli
+from repro.study.corpus_io import corpus_digest, save_corpus
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+
+from perf_guard import compare_sections  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def corpus() -> StudyCorpus:
+    """A synthesized-only corpus: large enough to cross-validate, instant to build."""
+    config = StudyConfiguration(
+        architectures=("gpu1-k40m",),
+        techniques=("raytrace", "raster", "volume"),
+        simulations=("kripke",),
+        task_counts=(1, 4),
+        samples_per_technique=8,
+        compositing_task_counts=(2, 4),
+        compositing_pixel_sizes=(32, 48, 64),
+        seed=99,
+    )
+    return StudyHarness(config).run()
+
+
+@pytest.fixture(scope="module")
+def suite(corpus) -> ModelSuite:
+    return ModelSuite.fit_corpus(corpus)
+
+
+class TestModelSuite:
+    def test_fits_every_slice_plus_compositing(self, corpus, suite):
+        assert sorted(suite.entries) == [
+            ("gpu1-k40m", "raster"),
+            ("gpu1-k40m", "raytrace"),
+            ("gpu1-k40m", "volume"),
+        ]
+        assert suite.compositing is not None
+        assert suite.compositing.num_rows == len(corpus.compositing_records)
+        assert not suite.failures
+        for entry in suite.entries.values():
+            assert entry.model.r_squared > 0.5
+            assert entry.crossval_accuracy is not None
+            assert entry.crossval_accuracy["within_50"] >= 0.0
+
+    def test_models_view_matches_fit_all_models_keys(self, corpus, suite):
+        assert set(suite.models()) == set(corpus.fit_all_models())
+
+    def test_diagnostics_report_every_fit_group(self, suite):
+        raytrace = suite.entries[("gpu1-k40m", "raytrace")]
+        diagnostics = raytrace.diagnostics()
+        assert set(diagnostics) == {"build", "frame"}
+        for group in diagnostics.values():
+            assert set(group) >= {"r_squared", "residual_std", "coefficients", "negative_terms"}
+
+    def test_negative_coefficients_become_structured_warnings(self):
+        model = CompositingModel()
+        model.fit_result = LinearRegressionResult(
+            coefficients=np.array([1e-6, 2e-9, -0.25]),
+            r_squared=0.9,
+            residual_std=0.01,
+            num_observations=10,
+            term_names=CompositingModel.term_names,
+        )
+        entry = FittedModel("-", "compositing", model, 10)
+        warnings = _coefficient_warnings(entry)
+        assert warnings == [
+            {
+                "kind": "negative_coefficient",
+                "architecture": "-",
+                "technique": "compositing",
+                "group": "fit",
+                "term": "c2_intercept",
+                "value": -0.25,
+            }
+        ]
+
+    def test_degenerate_slices_become_failures_not_exceptions(self, corpus):
+        tiny = StudyCorpus(records=corpus.records[:2], compositing_records=corpus.compositing_records[:2])
+        suite = ModelSuite.fit_corpus(tiny)
+        assert suite.is_empty()
+        assert {f["technique"] for f in suite.failures} >= {"compositing"}
+        for failure in suite.failures:
+            assert failure["reason"] == "degenerate-fit"
+            assert failure["message"]
+
+    def test_get_unknown_key_lists_available(self, suite):
+        with pytest.raises(KeyError, match="gpu1-k40m/raytrace"):
+            suite.get("nope", "raytrace")
+
+    def test_crossval_skipped_is_recorded(self, corpus):
+        small = StudyCorpus(records=corpus.select("gpu1-k40m", "volume")[:4])
+        suite = ModelSuite.fit_corpus(small)
+        entry = suite.entries[("gpu1-k40m", "volume")]
+        assert entry.crossval_accuracy is None
+        assert "6 observations" in entry.crossval_skipped
+        assert any(w["kind"] == "crossval_skipped" for w in entry.warnings)
+
+
+class TestSerialization:
+    def test_models_json_round_trip_is_exact(self, suite, tmp_path):
+        path = suite.save(tmp_path / "models.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == MODELS_SCHEMA_VERSION
+        loaded = ModelSuite.load(path)
+        assert sorted(loaded.entries) == sorted(suite.entries)
+        for key, entry in suite.entries.items():
+            for group, fit in entry.fit_groups().items():
+                loaded_fit = loaded.entries[key].fit_groups()[group]
+                assert np.array_equal(loaded_fit.coefficients, fit.coefficients)
+                assert loaded_fit.residual_std == fit.residual_std
+                assert loaded_fit.term_names == fit.term_names
+        assert loaded.compositing is not None
+        assert loaded.entries[("gpu1-k40m", "raytrace")].crossval_accuracy is not None
+
+    def test_unknown_schema_is_rejected(self, suite, tmp_path):
+        payload = suite.to_payload()
+        payload["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            ModelSuite.from_payload(payload)
+
+
+class TestPredictor:
+    def test_in_sample_round_trip_reproduces_predictions(self, corpus, suite, tmp_path):
+        """The acceptance criterion: models.json -> Predictor == in-memory model."""
+        predictor = Predictor.load(suite.save(tmp_path / "models.json"))
+        for (architecture, technique), entry in suite.entries.items():
+            rows = corpus.select(architecture, technique)
+            features = [row.features for row in rows]
+            expected = entry.model.predict_many(features)
+            got = predictor.predict_features(architecture, technique, features).seconds
+            assert np.max(np.abs(expected - got)) <= 1e-10
+
+    def test_configuration_batch_matches_scalar_path(self, suite):
+        predictor = Predictor(suite)
+        sizes = np.array([512, 1024, 2048, 2880])
+        batch = predictor.predict_configurations(
+            "gpu1-k40m", "raytrace", num_tasks=32, cells_per_task=200, image_width=sizes, image_height=sizes
+        )
+        assert len(batch) == len(sizes)
+        model = suite.entries[("gpu1-k40m", "raytrace")].model
+        for index, size in enumerate(sizes):
+            config = RenderingConfiguration(
+                technique="raytrace",
+                architecture="gpu1-k40m",
+                num_tasks=32,
+                cells_per_task=200,
+                image_width=int(size),
+                image_height=int(size),
+            )
+            scalar = model.predict(map_configuration_to_features(config))
+            assert abs(batch.seconds[index] - scalar) <= 1e-12
+
+    def test_intervals_bound_the_prediction(self, suite):
+        predictor = Predictor(suite)
+        batch = predictor.predict_configurations(
+            "gpu1-k40m", "volume", num_tasks=8, cells_per_task=np.arange(50, 350, 50),
+            image_width=1024, image_height=1024, sigmas=3.0,
+        )
+        assert np.all(batch.lower <= batch.seconds)
+        assert np.all(batch.seconds <= batch.upper)
+        assert np.all(batch.lower >= 0.0)
+        assert np.allclose(batch.upper - batch.seconds, 3.0 * batch.residual_std)
+        assert batch.sigmas == 3.0
+
+    def test_raytrace_interval_widens_with_build(self, suite):
+        predictor = Predictor(suite)
+        with_build = predictor.predict_configurations(
+            "gpu1-k40m", "raytrace", 32, 200, 1024, 1024, include_build=True
+        )
+        without = predictor.predict_configurations(
+            "gpu1-k40m", "raytrace", 32, 200, 1024, 1024, include_build=False
+        )
+        assert with_build.seconds[0] > without.seconds[0]
+        assert with_build.residual_std >= without.residual_std
+
+    def test_compositing_predictions(self, suite):
+        predictor = Predictor(suite)
+        batch = predictor.predict_compositing(np.array([500.0, 1500.0]), np.array([4096, 16384]))
+        assert len(batch) == 2
+        assert np.all(np.isfinite(batch.seconds))
+
+    def test_as_dict_is_json_ready(self, suite):
+        predictor = Predictor(suite)
+        batch = predictor.predict_compositing(800.0, 4096)
+        payload = batch.as_dict()
+        json.dumps(payload)
+        assert payload["sigmas"] == 2.0
+
+
+class TestBatchMapping:
+    def test_batch_mapping_matches_scalar_exactly(self):
+        rng = np.random.default_rng(7)
+        for technique in ("raytrace", "raster", "volume", "volume_unstructured"):
+            tasks = rng.integers(1, 1500, 64)
+            cells = rng.integers(1, 400, 64)
+            width = rng.integers(16, 4096, 64)
+            height = rng.integers(16, 4096, 64)
+            samples = rng.integers(10, 1500, 64)
+            batch = map_configuration_batch(technique, tasks, cells, width, height, samples)
+            for i in range(64):
+                scalar = map_configuration_to_features(
+                    RenderingConfiguration(
+                        technique=technique,
+                        architecture="x",
+                        num_tasks=int(tasks[i]),
+                        cells_per_task=int(cells[i]),
+                        image_width=int(width[i]),
+                        image_height=int(height[i]),
+                        samples_in_depth=int(samples[i]),
+                    )
+                )
+                assert batch["objects"][i] == float(scalar.objects)
+                assert batch["active_pixels"][i] == float(scalar.active_pixels)
+                assert batch["visible_objects"][i] == float(scalar.visible_objects)
+                assert batch["pixels_per_triangle"][i] == float(scalar.pixels_per_triangle)
+                assert batch["samples_per_ray"][i] == float(scalar.samples_per_ray)
+                assert batch["cells_spanned"][i] == float(scalar.cells_spanned)
+
+    def test_batch_mapping_validates_inputs(self):
+        with pytest.raises(ValueError, match="unknown technique"):
+            map_configuration_batch("nope", 1, 1, 64, 64)
+        with pytest.raises(ValueError, match="positive"):
+            map_configuration_batch("raytrace", 0, 10, 64, 64)
+
+    def test_term_matrix_rows_equal_term_rows(self, corpus):
+        rows = corpus.select("gpu1-k40m", "raster")
+        features = [row.features for row in rows]
+        arrays = feature_arrays(features)
+        from repro.modeling.models import RasterizationModel, VolumeRenderingModel
+
+        raster = RasterizationModel()
+        assert np.array_equal(raster.term_matrix(arrays), raster.design_matrix(features))
+        volume = VolumeRenderingModel()
+        assert np.array_equal(volume.term_matrix(arrays), volume.design_matrix(features))
+        raytrace = RayTracingModel()
+        assert np.array_equal(raytrace.build_term_matrix(arrays), raytrace.build_design(features))
+        assert np.array_equal(raytrace.frame_term_matrix(arrays), raytrace.frame_design(features))
+
+
+class TestGenerateReport:
+    EXPECTED = (
+        ["models.json", "report.json", "report.md"]
+        + [f"tables/table{n}_{slug}.{ext}" for n, slug in [
+            (12, "model_r2"), (13, "crossval_accuracy"), (14, "compositing_accuracy"),
+            (15, "large_scale_prediction"), (16, "mapping_validation"), (17, "coefficients"),
+        ] for ext in ("json", "md")]
+        + [f"figures/fig{n}_{slug}.{ext}" for n, slug in [
+            (11, "crossval_error"), (12, "compositing_histogram"), (13, "compositing_crossval"),
+            (14, "images_per_budget"), (15, "rt_vs_raster"),
+        ] for ext in ("json", "md")]
+    )
+
+    def test_emits_every_artifact(self, corpus, tmp_path):
+        result = generate_report(corpus, tmp_path / "report")
+        emitted = {str(path.relative_to(result.out_dir)) for path in result.paths}
+        assert emitted == set(self.EXPECTED)
+        assert result.manifest["corpus"]["digest"] == corpus_digest(corpus)
+        assert result.manifest["fitted"] == [
+            ["gpu1-k40m", "raster"], ["gpu1-k40m", "raytrace"], ["gpu1-k40m", "volume"],
+        ]
+
+    def test_regeneration_is_byte_identical(self, corpus, tmp_path):
+        first = generate_report(corpus, tmp_path / "one")
+        second = generate_report(corpus, tmp_path / "two")
+        for path in first.paths:
+            relative = path.relative_to(first.out_dir)
+            assert path.read_bytes() == (second.out_dir / relative).read_bytes(), relative
+
+    def test_records_carry_their_sampling_depth(self, corpus, tmp_path):
+        # Synthetic rows record the full-scale depth; the value survives IO,
+        # so Table 16 maps with the depth the experiment actually used.
+        from repro.study.corpus_io import load_corpus
+
+        assert all(r.samples_in_depth == 1000 for r in corpus.records)
+        reloaded = load_corpus(save_corpus(corpus, tmp_path / "roundtrip.json"))
+        assert [r.samples_in_depth for r in reloaded.records] == [
+            r.samples_in_depth for r in corpus.records
+        ]
+
+    def test_table_payloads_are_machine_checkable(self, corpus, tmp_path):
+        result = generate_report(corpus, tmp_path / "report")
+        tables = {
+            payload["table"]: payload
+            for payload in (
+                json.loads(path.read_text())
+                for path in result.paths
+                if path.suffix == ".json" and path.parent.name == "tables"
+            )
+        }
+        assert sorted(tables) == [12, 13, 14, 15, 16, 17]
+        assert all(row["r_squared"] <= 1.0 for row in tables[12]["rows"])
+        accuracy = tables[13]["rows"][0]["accuracy"]
+        assert accuracy is not None and 0.0 <= accuracy["within_50"] <= 100.0
+        assert tables[14]["available"] is True
+        assert all(abs(r["difference_percent"]) < 1e6 for r in tables[15]["rows"])
+        assert tables[16]["rows"] == []  # synthesized-only corpus has no host rows
+        for row in tables[17]["rows"]:
+            assert row["coefficients"]
+
+    def test_figure_payloads(self, corpus, tmp_path):
+        result = generate_report(corpus, tmp_path / "report")
+        figures = {
+            payload["figure"]: payload
+            for payload in (
+                json.loads(path.read_text())
+                for path in result.paths
+                if path.suffix == ".json" and path.parent.name == "figures"
+            )
+        }
+        assert sorted(figures) == [11, 12, 13, 14, 15]
+        series = figures[11]["series"]
+        assert all(s["available"] for s in series)
+        assert len(figures[12]["rows"]) == len(corpus.compositing_records)
+        assert figures[13]["available"] is True
+        points = figures[14]["points"]
+        assert len(points) == 3 * 5  # three models x five image sizes
+        for key in {(p["architecture"], p["technique"]) for p in points}:
+            counts = [p["images_in_budget"] for p in points if (p["architecture"], p["technique"]) == key]
+            assert all(a >= b for a, b in zip(counts, counts[1:]))
+        grids = figures[15]["grids"]
+        assert len(grids) == 1 and grids[0]["architecture"] == "gpu1-k40m"
+        assert len(grids[0]["ratio"]) == len(grids[0]["data_sizes"])
+
+    def test_report_markdown_contains_all_sections(self, corpus, tmp_path):
+        result = generate_report(corpus, tmp_path / "report")
+        markdown = result.markdown_path.read_text()
+        for number in range(12, 18):
+            assert f"### Table {number}:" in markdown
+        for number in range(11, 16):
+            assert f"### Figure {number}:" in markdown
+        assert corpus_digest(corpus) in markdown
+
+
+class TestReportingCLI:
+    def _save(self, corpus, tmp_path, name="corpus.json") -> str:
+        return str(save_corpus(corpus, tmp_path / name))
+
+    def test_report_subcommand_round_trips(self, corpus, tmp_path, capsys):
+        path = self._save(corpus, tmp_path)
+        out_dir = tmp_path / "report"
+        assert study_cli.main(["report", path, "--out-dir", str(out_dir)]) == 0
+        assert (out_dir / "models.json").is_file()
+        assert (out_dir / "report.md").is_file()
+        assert "renderer models + compositing" in capsys.readouterr().out
+        # Second invocation on the same corpus is byte-identical (acceptance).
+        second = tmp_path / "report-second"
+        assert study_cli.main(["report", path, "--out-dir", str(second)]) == 0
+        for path_a in sorted((out_dir).rglob("*")):
+            if path_a.is_file():
+                path_b = second / path_a.relative_to(out_dir)
+                assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_fit_exits_nonzero_when_every_fit_is_degenerate(self, corpus, tmp_path, capsys):
+        tiny = StudyCorpus(records=corpus.records[:2], compositing_records=corpus.compositing_records[:2])
+        path = self._save(tiny, tmp_path, "tiny.json")
+        assert study_cli.main(["fit", path]) == study_cli.EXIT_ALL_FITS_DEGENERATE
+        out = capsys.readouterr().out
+        structured = json.loads(out[out.index("{"):])
+        assert structured["error"] == "all-fits-degenerate"
+        assert structured["failures"]
+
+    def test_report_exits_nonzero_when_every_fit_is_degenerate(self, corpus, tmp_path, capsys):
+        tiny = StudyCorpus(records=corpus.records[:1])
+        path = self._save(tiny, tmp_path, "tiny.json")
+        out_dir = tmp_path / "degenerate-report"
+        code = study_cli.main(["report", path, "--out-dir", str(out_dir)])
+        assert code == study_cli.EXIT_ALL_FITS_DEGENERATE
+        # The artifact tree is still written: failures are data, not crashes.
+        assert (out_dir / "report.json").is_file()
+        capsys.readouterr()
+
+    def test_fit_happy_path_reports_r_squared(self, corpus, tmp_path, capsys):
+        path = self._save(corpus, tmp_path)
+        assert study_cli.main(["fit", path, "--crossval"]) == 0
+        out = capsys.readouterr().out
+        assert "R^2" in out and "within50" in out
+
+    def test_predict_inline_configuration(self, corpus, suite, tmp_path, capsys):
+        models = str(suite.save(tmp_path / "models.json"))
+        code = study_cli.main(
+            [
+                "predict", models,
+                "--architecture", "gpu1-k40m", "--technique", "raytrace",
+                "--num-tasks", "64", "--cells-per-task", "150", "--image-size", "2048",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        [row] = payload["predictions"]
+        assert 0.0 <= row["lower"] <= row["seconds"] <= row["upper"]
+
+    def test_predict_batch_file_preserves_input_order(self, suite, tmp_path, capsys):
+        models = str(suite.save(tmp_path / "models.json"))
+        volume = {"architecture": "gpu1-k40m", "technique": "volume", "image_width": 512, "image_height": 512}
+        configs = [
+            {**volume, "num_tasks": 8},
+            {"architecture": "gpu1-k40m", "technique": "raytrace", "num_tasks": 16},
+            {**volume, "num_tasks": 64},
+        ]
+        configs_path = tmp_path / "configs.json"
+        configs_path.write_text(json.dumps(configs))
+        out_path = tmp_path / "predictions.json"
+        code = study_cli.main(["predict", models, "--configs", str(configs_path), "--out", str(out_path)])
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert [row["technique"] for row in payload["predictions"]] == ["volume", "raytrace", "volume"]
+        # More tasks shrink a task's screen footprint: same image, less time.
+        assert payload["predictions"][2]["seconds"] < payload["predictions"][0]["seconds"]
+
+    def test_predict_compositing_configurations(self, corpus, suite, tmp_path, capsys):
+        models = str(suite.save(tmp_path / "models.json"))
+        configs = [
+            {"architecture": "-", "technique": "compositing", "average_active_pixels": 800.0, "pixels": 4096},
+            {"architecture": "gpu1-k40m", "technique": "volume", "num_tasks": 8},
+        ]
+        configs_path = tmp_path / "configs.json"
+        configs_path.write_text(json.dumps(configs))
+        assert study_cli.main(["predict", models, "--configs", str(configs_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        compositing_row, volume_row = payload["predictions"]
+        expected = Predictor(suite).predict_compositing(800.0, 4096)
+        assert compositing_row["seconds"] == expected.seconds[0]
+        assert volume_row["technique"] == "volume"
+
+    def test_predict_compositing_without_inputs_is_a_usage_error(self, suite, tmp_path, capsys):
+        models = str(suite.save(tmp_path / "models.json"))
+        code = study_cli.main(
+            ["predict", models, "--architecture", "-", "--technique", "compositing"]
+        )
+        assert code == 2
+        assert "average_active_pixels" in capsys.readouterr().err
+
+    def test_predict_unknown_model_is_a_usage_error(self, suite, tmp_path, capsys):
+        models = str(suite.save(tmp_path / "models.json"))
+        code = study_cli.main(
+            ["predict", models, "--architecture", "nope", "--technique", "raytrace"]
+        )
+        assert code == 2
+        assert "available" in capsys.readouterr().err
+
+    def test_predict_requires_a_configuration_source(self, suite, tmp_path, capsys):
+        models = str(suite.save(tmp_path / "models.json"))
+        assert study_cli.main(["predict", models]) == 2
+        assert "--configs" in capsys.readouterr().err
+
+
+class TestPerfGuardLogic:
+    BASELINE = {
+        "raytracer": {"current": {"full_96": 0.20}},
+        "volume": {"current": {"structured_96": 0.18}},
+        "compositing": {"current": {"radix-k_64": 0.16}},
+    }
+
+    def test_within_tolerance_passes(self):
+        measured = {
+            "raytracer": {"full_96": 0.15},  # -25% throughput: inside 30%
+            "volume": {"structured_96": 0.20},  # improvement
+            "compositing": {"radix-k_64": 0.20},  # +25% seconds: inside 30%
+        }
+        rows = compare_sections(self.BASELINE, measured, tolerance=0.30)
+        assert not any(row["regressed"] for row in rows)
+
+    def test_throughput_drop_fails(self):
+        rows = compare_sections(self.BASELINE, {"raytracer": {"full_96": 0.10}}, tolerance=0.30)
+        [row] = rows
+        assert row["regressed"] and row["regression"] == pytest.approx(0.5)
+
+    def test_seconds_rise_fails(self):
+        rows = compare_sections(self.BASELINE, {"compositing": {"radix-k_64": 0.30}}, tolerance=0.30)
+        [row] = rows
+        assert row["regressed"] and row["regression"] == pytest.approx(0.875)
+
+    def test_improvements_never_fail(self):
+        measured = {"raytracer": {"full_96": 10.0}, "compositing": {"radix-k_64": 0.001}}
+        rows = compare_sections(self.BASELINE, measured, tolerance=0.30)
+        assert not any(row["regressed"] for row in rows)
+        assert all(row["regression"] < 0.0 for row in rows)
+
+    def test_missing_baseline_key_is_reported_not_failed(self):
+        rows = compare_sections(self.BASELINE, {"raytracer": {"brand_new_96": 1.0}}, tolerance=0.30)
+        [row] = rows
+        assert not row["regressed"] and row["note"] == "no baseline entry"
+
+    def test_checked_in_bench_record_has_every_smoke_key(self):
+        from perf_guard import HIGHER_IS_BETTER, SMOKE_KEYS
+
+        record = json.loads((Path(__file__).resolve().parents[1] / "BENCH_render.json").read_text())
+        for section, keys in SMOKE_KEYS.items():
+            assert section in HIGHER_IS_BETTER
+            for key in keys:
+                assert key in record[section]["current"], f"{section}/{key}"
