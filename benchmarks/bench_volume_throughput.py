@@ -36,6 +36,10 @@ from repro.rendering import (
 #: this much faster than the pre-refactor loop at the classic substrate size.
 STRUCTURED_SPEEDUP_FLOOR_96 = 2.0
 
+#: Acceptance floor for the fragment-sorted unstructured sampler against the
+#: brute-force 3D-box enumeration it replaced, at both measured sizes.
+UNSTRUCTURED_SPEEDUP_FLOOR = 3.0
+
 #: Passes used for the unstructured measurements (early ray termination
 #: between passes is where engine compaction pays off).
 UNSTRUCTURED_PASSES = 4
@@ -131,7 +135,8 @@ def test_volume_throughput():
         rows,
     )
     assert results[f"structured_{BENCH_IMAGE_SIZE}"]["speedup_vs_seed"] >= STRUCTURED_SPEEDUP_FLOOR_96
-    # The unstructured port shares its object-order sampler with the
-    # reference, so parity (within measurement noise) is the requirement;
-    # engine compaction only pays off once pixels actually saturate.
-    assert results[f"unstructured_{BENCH_IMAGE_SIZE}"]["speedup_vs_seed"] >= 0.9
+    # The fragment-sorted sampler enumerates pixel columns + analytic spans
+    # instead of the full 3D screen boxes, so it must clear the floor at both
+    # sizes (the 3D/2D candidate ratio on the pool is 7-10x).
+    for size in (BENCH_IMAGE_SIZE, BENCH_IMAGE_SIZE_LARGE):
+        assert results[f"unstructured_{size}"]["speedup_vs_seed"] >= UNSTRUCTURED_SPEEDUP_FLOOR

@@ -29,7 +29,7 @@ __all__ = ["SMOKE_KEYS", "HIGHER_IS_BETTER", "compare_sections", "measure_smoke"
 #: The CI-sized measurement subset: one image size / rank count per section.
 SMOKE_KEYS = {
     "raytracer": ("intersection_only_96", "shading_96", "full_96"),
-    "volume": ("structured_96",),
+    "volume": ("structured_96", "unstructured_96"),
     "compositing": ("direct-send_64", "binary-swap_64", "radix-k_64"),
 }
 

@@ -31,7 +31,12 @@ from repro.geometry.transforms import (
     viewport_transform,
 )
 from repro.geometry.triangles import TriangleMesh, external_faces, quad_to_triangles
-from repro.geometry.tetra import hex_to_tets, tetrahedralize_uniform_grid
+from repro.geometry.tetra import (
+    hex_to_tets,
+    tet_face_adjacency,
+    tet_face_planes,
+    tetrahedralize_uniform_grid,
+)
 from repro.geometry.isosurface import isosurface_marching_tets
 from repro.geometry.datasets import (
     enzo_like_field,
@@ -53,6 +58,8 @@ __all__ = [
     "enzo_like_field",
     "external_faces",
     "hex_to_tets",
+    "tet_face_adjacency",
+    "tet_face_planes",
     "isosurface_marching_tets",
     "look_at_matrix",
     "make_named_dataset",

@@ -10,6 +10,16 @@ these hexahedrons into tetrahedrons").  This module provides that operation:
   diagonals and the decomposition is conforming on structured grids.
 * :func:`tetrahedralize_uniform_grid` is the convenience wrapper used by the
   data-set generators (Enzo-like and Nek5000-like inputs).
+
+The fragment-sorted volume sampler additionally needs per-tet *face* geometry:
+
+* :func:`tet_face_planes` computes the four inward-oriented unit face planes
+  (and the opposite-vertex clearances) of every tetrahedron -- the analytic
+  entry/exit span of a pixel column through a tet is the intersection of the
+  four half-spaces, evaluated per pixel.
+* :func:`tet_face_adjacency` pairs faces shared between tets (HAVS-style
+  face connectivity), which doubles as a conformity check: a face shared by
+  more than two tets is a non-manifold input.
 """
 
 from __future__ import annotations
@@ -24,7 +34,17 @@ from repro.geometry.mesh import (
     UnstructuredTetMesh,
 )
 
-__all__ = ["hex_to_tets", "tetrahedralize_uniform_grid"]
+__all__ = [
+    "TET_FACES",
+    "hex_to_tets",
+    "tet_face_adjacency",
+    "tet_face_planes",
+    "tetrahedralize_uniform_grid",
+]
+
+#: The four triangular faces of a tetrahedron; face ``k`` is opposite vertex
+#: ``k``, so the barycentric coordinate of vertex ``k`` vanishes on face ``k``.
+TET_FACES = np.array([[1, 2, 3], [0, 2, 3], [0, 1, 3], [0, 1, 2]], dtype=np.int64)
 
 # Five-tet decomposition of a hexahedron with VTK point ordering
 # (0..3 bottom counter-clockwise, 4..7 top).  Two mirror-image variants are
@@ -92,6 +112,79 @@ def hex_to_tets(
     for name, values in mesh.cell_fields.items():
         tet_mesh.add_cell_field(name, np.repeat(np.asarray(values), 5, axis=0))
     return tet_mesh
+
+
+def tet_face_planes(vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Inward-oriented unit face planes of each tetrahedron.
+
+    Parameters
+    ----------
+    vertices:
+        ``(num_tets, 4, 3)`` vertex positions (any 3D coordinate system --
+        world space or the renderer's ``(px, py, depth-slot)`` screen space).
+
+    Returns
+    -------
+    planes, heights:
+        ``planes`` is ``(num_tets, 4, 4)``; row ``k`` holds ``(a, b, c, d)``
+        with unit normal ``(a, b, c)`` oriented so ``a*x + b*y + c*z + d >= 0``
+        for points inside the tet.  ``heights`` is ``(num_tets, 4)``: the
+        distance from vertex ``k`` to its opposite face ``k`` -- the scale
+        that converts a barycentric tolerance into a plane-distance slack.
+        Degenerate (flat) tets yield near-zero heights; callers must mask
+        them out the same way they mask near-zero barycentric determinants.
+    """
+    vertices = np.asarray(vertices, dtype=np.float64)
+    if vertices.ndim != 3 or vertices.shape[1:] != (4, 3):
+        raise ValueError("tet_face_planes expects a (num_tets, 4, 3) vertex array")
+    a = vertices[:, TET_FACES[:, 0]]  # (nt, 4, 3)
+    b = vertices[:, TET_FACES[:, 1]]
+    c = vertices[:, TET_FACES[:, 2]]
+    normal = np.cross(b - a, c - a)
+    norm = np.linalg.norm(normal, axis=2)
+    normal = normal / np.maximum(norm, 1e-300)[..., None]
+    offset = -np.einsum("nkj,nkj->nk", normal, a)
+    # Signed clearance of the opposite vertex; flip so it is non-negative
+    # (the normal then points inward).
+    heights = np.einsum("nkj,nkj->nk", normal, vertices) + offset
+    sign = np.where(heights < 0.0, -1.0, 1.0)
+    planes = np.concatenate([normal * sign[..., None], (offset * sign)[..., None]], axis=2)
+    return planes, heights * sign
+
+
+def tet_face_adjacency(connectivity: np.ndarray) -> np.ndarray:
+    """Neighbour tet across each face, ``-1`` on boundary faces.
+
+    Faces are keyed by their sorted vertex triple, so two tets are adjacent
+    exactly when they share three vertices -- the conforming-mesh contract the
+    parity decomposition of :func:`hex_to_tets` guarantees.  A face shared by
+    more than two tets means the input is non-manifold and raises.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(num_tets, 4)`` int64; entry ``[t, k]`` is the tet sharing face
+        ``k`` of tet ``t`` (the face opposite vertex ``k``), or ``-1``.
+    """
+    connectivity = np.asarray(connectivity, dtype=np.int64)
+    if connectivity.ndim != 2 or connectivity.shape[1] != 4:
+        raise ValueError("tet_face_adjacency expects a (num_tets, 4) connectivity array")
+    num_tets = len(connectivity)
+    faces = np.sort(connectivity[:, TET_FACES], axis=2).reshape(-1, 3)
+    order = np.lexsort((faces[:, 2], faces[:, 1], faces[:, 0]))
+    grouped = faces[order]
+    new_run = np.ones(len(grouped), dtype=bool)
+    new_run[1:] = np.any(grouped[1:] != grouped[:-1], axis=1)
+    run_starts = np.flatnonzero(new_run)
+    run_lengths = np.diff(np.append(run_starts, len(grouped)))
+    if np.any(run_lengths > 2):
+        raise ValueError("non-manifold mesh: a face is shared by more than two tets")
+    adjacency = np.full(num_tets * 4, -1, dtype=np.int64)
+    owner = order // 4
+    paired = run_starts[run_lengths == 2]
+    adjacency[order[paired]] = owner[paired + 1]
+    adjacency[order[paired + 1]] = owner[paired]
+    return adjacency.reshape(num_tets, 4)
 
 
 def _structured_parity(cell_dims: tuple[int, int, int]) -> np.ndarray:

@@ -26,8 +26,25 @@ Since the frontier refactor the per-pixel accumulation runs on the shared
 accumulators, one engine step executes one pass, and a pixel crossing the
 early-termination opacity *retires* -- the engine compacts it out, later
 passes' samplers skip it via the residency mask, and later compositing never
-touches its row.  :meth:`UnstructuredVolumeRenderer.render_reference` keeps
-the pre-frontier full-width loop as a differential reference.
+touches its row.
+
+**Fragment-sorted sampling** (the fast path behind :meth:`render`) replaces
+the seed sampler's dense candidate enumeration.  The seed loop visited every
+``box_w x box_h x box_d`` (pixel, depth-slot) pair of each tet's screen-space
+AABB and rejected 85-90% of them with the barycentric inside test; the
+fragment formulation (the HAVS-style competitor of the paper's Figure 6)
+enumerates only the 2D pixel columns, intersects each column with the tet's
+four inward face planes (:func:`repro.geometry.tetra.tet_face_planes`) to get
+the analytic entry/exit slot span, emits one fragment per (pixel, slot, tet)
+in the span, and resolves fragment collisions per sample-buffer cell with one
+combined sort + :func:`~repro.dpp.primitives.segmented_argmin` -- the same
+machinery the sort-last compositor uses.  The span is conservative (a slack
+proportional to the face clearance covers float rounding and the reference's
+``-1e-9`` barycentric tolerance) and every surviving fragment re-runs the
+reference's *exact* inside test, so the fast path reproduces the seed
+sampler's accepted-sample set -- and therefore its image -- bit for bit.
+:meth:`UnstructuredVolumeRenderer.render_reference` keeps the pre-frontier
+full-width loop with the seed sampler as the differential reference.
 """
 
 from __future__ import annotations
@@ -45,8 +62,10 @@ from repro.dpp.primitives import (
     reduce_field,
     reverse_index,
     scatter,
+    segmented_argmin,
 )
 from repro.geometry.mesh import UnstructuredTetMesh
+from repro.geometry.tetra import tet_face_planes
 from repro.geometry.transforms import Camera
 from repro.rendering.framebuffer import Framebuffer
 from repro.rendering.result import ObservedFeatures, RenderResult
@@ -90,6 +109,34 @@ class UnstructuredVolumeConfig:
             raise ValueError("early_termination_alpha must be in (0, 1]")
 
 
+#: Conservative slack for the analytic face-plane span test, scaled by each
+#: face's opposite-vertex clearance.  The exact inside test accepts barycentric
+#: coordinates down to -1e-9, i.e. plane distances down to ``-1e-9 * height``;
+#: the slack must dominate that plus the rounding error of evaluating the
+#: plane at a pixel center, and 1e-6 * (1 + height) does both with orders of
+#: magnitude to spare while staying far below one depth slot.
+_SPAN_SLACK = 1e-6
+
+
+@dataclass
+class _PreparedTets:
+    """Per-tet screen-space state shared by the engine and reference paths.
+
+    ``screen_vertices`` holds the ``(px, py, depth-slot)`` positions; the face
+    planes/heights (:func:`tet_face_planes` over those vertices) power the
+    fragment sampler's analytic span test and are unused by the reference.
+    """
+
+    screen_vertices: np.ndarray  # (nt, 4, 3)
+    slot_low: np.ndarray  # (nt,)
+    slot_high: np.ndarray  # (nt,)
+    tet_scalars: np.ndarray  # (nt, 4)
+    face_planes: np.ndarray  # (nt, 4, 4) inward unit planes in screen space
+    face_heights: np.ndarray  # (nt, 4) opposite-vertex clearances
+    depth_min: float
+    step_length: float
+
+
 class _TetPassKernel:
     """One engine step per sampling pass over the depth-slot range.
 
@@ -103,11 +150,12 @@ class _TetPassKernel:
 
     output_fields = ("accum_rgb", "accum_alpha")
 
-    def __init__(self, renderer: "UnstructuredVolumeRenderer", camera: Camera, prepared) -> None:
+    def __init__(
+        self, renderer: "UnstructuredVolumeRenderer", camera: Camera, prepared: _PreparedTets
+    ) -> None:
         self.renderer = renderer
         self.camera = camera
-        (self.tet_screen_xy, self.tet_slots, self.slot_low, self.slot_high,
-         self.tet_scalars, self.depth_min, self.step_length) = prepared
+        self.prepared = prepared
         config = renderer.config
         self.num_pixels = camera.width * camera.height
         self.total_slots = config.samples_in_depth
@@ -133,18 +181,21 @@ class _TetPassKernel:
         final_pass = self.pass_index >= config.num_passes or last_slot >= self.total_slots
 
         with Timer() as timer, InstrumentationScope("volume.pass_selection"):
-            active = renderer._pass_selection(self.slot_low, self.slot_high, first_slot, last_slot)
+            active = renderer._pass_selection(
+                self.prepared.slot_low, self.prepared.slot_high, first_slot, last_slot
+            )
         self.phases["pass_selection"] += timer.elapsed
         if len(active) == 0:
             done = np.ones(len(lanes), dtype=bool) if final_pass else lanes.retired.copy()
             return done
 
         with Timer() as timer, InstrumentationScope("volume.screen_space"):
-            # Screen-space tet vertices: (px, py, depth-slot).
-            active_xy = self.tet_screen_xy[active]
-            active_slots = self.tet_slots[active]
-            vertices = np.concatenate([active_xy, active_slots[..., None]], axis=2)
-            active_scalars = self.tet_scalars[active]
+            # Screen-space tet vertices: (px, py, depth-slot), plus the face
+            # planes powering the fragment sampler's analytic span test.
+            vertices = self.prepared.screen_vertices[active]
+            active_planes = self.prepared.face_planes[active]
+            active_heights = self.prepared.face_heights[active]
+            active_scalars = self.prepared.tet_scalars[active]
         self.phases["screen_space"] += timer.elapsed
 
         with Timer() as timer, InstrumentationScope("volume.sampling"):
@@ -154,8 +205,15 @@ class _TetPassKernel:
             open_mask[lanes.lane_ids[~lanes.retired]] = True
             sample_scalar = np.full((self.num_pixels, last_slot - first_slot), np.nan)
             renderer._sample_pass(
-                self.camera, vertices, active_scalars, first_slot, last_slot,
-                sample_scalar, open_mask,
+                self.camera,
+                vertices,
+                active_scalars,
+                active_planes,
+                active_heights,
+                first_slot,
+                last_slot,
+                sample_scalar,
+                open_mask,
             )
         self.phases["sampling"] += timer.elapsed
 
@@ -164,7 +222,7 @@ class _TetPassKernel:
             self.samples_with_data += int(np.count_nonzero(~np.isnan(rows)))
             live = ~lanes.retired
             renderer._composite_rows(
-                rows, lanes["accum_rgb"], accum_alpha, self.step_length, live
+                rows, lanes["accum_rgb"], accum_alpha, self.prepared.step_length, live
             )
         self.phases["compositing"] += timer.elapsed
 
@@ -199,13 +257,15 @@ class UnstructuredVolumeRenderer:
         screen, _ = camera.world_to_screen(points)
         depth = camera.depth_along_view(points)
         corner = self.mesh.connectivity
-        tet_screen_xy = screen[corner][..., :2]            # (nt, 4, 2)
-        tet_depth = depth[corner]                           # (nt, 4)
+        tet_screen_xy = screen[corner][..., :2]  # (nt, 4, 2)
+        tet_depth = depth[corner]  # (nt, 4)
         depth_min = float(depth.min())
         depth_max = float(depth.max())
         return tet_screen_xy, tet_depth, corner, depth_min, depth_max
 
-    def _pass_selection(self, slot_low: np.ndarray, slot_high: np.ndarray, first_slot: int, last_slot: int) -> np.ndarray:
+    def _pass_selection(
+        self, slot_low: np.ndarray, slot_high: np.ndarray, first_slot: int, last_slot: int
+    ) -> np.ndarray:
         """Compacted indices of tets overlapping the pass's depth-slot range."""
         flags = map_field(
             lambda lo, hi: ((hi >= first_slot) & (lo < last_slot)).astype(np.int64),
@@ -219,18 +279,25 @@ class UnstructuredVolumeRenderer:
         indices = reverse_index(scanned, flags.astype(bool))
         return gather(np.arange(len(flags), dtype=np.int64), indices)
 
-    def _prepare(self, camera: Camera):
+    def _prepare(self, camera: Camera) -> _PreparedTets:
         """Initialization phase shared by the engine and reference paths."""
         total_slots = self.config.samples_in_depth
         tet_screen_xy, tet_depth, corner, depth_min, depth_max = self._initialization(camera)
         depth_extent = max(depth_max - depth_min, 1e-12)
         tet_slots = (tet_depth - depth_min) / depth_extent * total_slots
-        slot_low = tet_slots.min(axis=1)
-        slot_high = tet_slots.max(axis=1)
+        screen_vertices = np.concatenate([tet_screen_xy, tet_slots[..., None]], axis=2)
+        face_planes, face_heights = tet_face_planes(screen_vertices)
         scalars = np.asarray(self.mesh.point_fields[self.field_name], dtype=np.float64)
-        tet_scalars = scalars[corner]
-        step_length = depth_extent / total_slots
-        return (tet_screen_xy, tet_slots, slot_low, slot_high, tet_scalars, depth_min, step_length)
+        return _PreparedTets(
+            screen_vertices=screen_vertices,
+            slot_low=tet_slots.min(axis=1),
+            slot_high=tet_slots.max(axis=1),
+            tet_scalars=scalars[corner],
+            face_planes=face_planes,
+            face_heights=face_heights,
+            depth_min=depth_min,
+            step_length=depth_extent / total_slots,
+        )
 
     # -- main entry point -----------------------------------------------------------------
     def render(self, camera: Camera) -> RenderResult:
@@ -274,7 +341,9 @@ class UnstructuredVolumeRenderer:
         written = np.flatnonzero(accum_alpha > 0.0)
         # Covered pixels report the nearest data depth, clamped at the camera
         # (behind-camera points must not produce negative layer depths).
-        framebuffer.write_pixels(written, rgba[written], np.full(len(written), max(prepared[5], 0.0)))
+        framebuffer.write_pixels(
+            written, rgba[written], np.full(len(written), max(prepared.depth_min, 0.0))
+        )
         return RenderResult(framebuffer, phases, features, technique="volume_unstructured")
 
     def render_reference(self, camera: Camera) -> RenderResult:
@@ -295,8 +364,7 @@ class UnstructuredVolumeRenderer:
         total_slots = config.samples_in_depth
 
         with Timer() as timer:
-            (tet_screen_xy, tet_slots, slot_low, slot_high, tet_scalars,
-             depth_min, step_length) = self._prepare(camera)
+            prepared = self._prepare(camera)
         phases["initialization"] = timer.elapsed
 
         accum_rgb = np.zeros((num_pixels, 3))
@@ -312,32 +380,33 @@ class UnstructuredVolumeRenderer:
                 break
 
             with Timer() as timer:
-                active = self._pass_selection(slot_low, slot_high, first_slot, last_slot)
+                active = self._pass_selection(
+                    prepared.slot_low, prepared.slot_high, first_slot, last_slot
+                )
             phases["pass_selection"] += timer.elapsed
             if len(active) == 0:
                 continue
 
             with Timer() as timer:
                 # Screen-space tet vertices: (px, py, depth-slot).
-                active_xy = tet_screen_xy[active]
-                active_slots = tet_slots[active]
-                vertices = np.concatenate([active_xy, active_slots[..., None]], axis=2)
-                active_scalars = tet_scalars[active]
+                vertices = prepared.screen_vertices[active]
+                active_scalars = prepared.tet_scalars[active]
             phases["screen_space"] += timer.elapsed
 
             with Timer() as timer:
                 sample_scalar = np.full((num_pixels, last_slot - first_slot), np.nan)
                 open_mask = accum_alpha < config.early_termination_alpha
-                pairs = self._sample_pass(
-                    camera, vertices, active_scalars, first_slot, last_slot,
-                    sample_scalar, open_mask,
+                pairs = self._sample_pass_reference(
+                    camera, vertices, active_scalars, first_slot, last_slot, sample_scalar, open_mask
                 )
                 cells_touched_max = max(cells_touched_max, pairs)
             phases["sampling"] += timer.elapsed
 
             with Timer() as timer:
                 samples_with_data += int(np.count_nonzero(~np.isnan(sample_scalar)))
-                self._composite_rows(sample_scalar, accum_rgb, accum_alpha, step_length, None)
+                self._composite_rows(
+                    sample_scalar, accum_rgb, accum_alpha, prepared.step_length, None
+                )
             phases["compositing"] += timer.elapsed
 
         features.active_pixels = int(np.count_nonzero(accum_alpha > 0.0))
@@ -346,11 +415,260 @@ class UnstructuredVolumeRenderer:
 
         rgba = np.concatenate([accum_rgb, accum_alpha[:, None]], axis=1)
         written = np.flatnonzero(accum_alpha > 0.0)
-        framebuffer.write_pixels(written, rgba[written], np.full(len(written), max(depth_min, 0.0)))
+        framebuffer.write_pixels(
+            written, rgba[written], np.full(len(written), max(prepared.depth_min, 0.0))
+        )
         return RenderResult(framebuffer, phases, features, technique="volume_unstructured")
 
-    # -- sampling ---------------------------------------------------------------------------
+    # -- sampling (fragment-sorted fast path) -----------------------------------------------
+    @staticmethod
+    def _screen_boxes(
+        vertices: np.ndarray, width: int, height: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Clipped integer pixel bounding boxes of each tet's screen footprint.
+
+        Sub-pixel tets still get a one-pixel-column footprint (``box >= 1``)
+        so coarse meshes do not leave holes in the image; both samplers share
+        this function so they enumerate identical pixel columns.
+        """
+        lo_xy = np.floor(vertices[..., :2].min(axis=1)).astype(np.int64)
+        hi_xy = np.ceil(vertices[..., :2].max(axis=1)).astype(np.int64)
+        lo_xy[:, 0] = np.clip(lo_xy[:, 0], 0, width - 1)
+        lo_xy[:, 1] = np.clip(lo_xy[:, 1], 0, height - 1)
+        hi_xy[:, 0] = np.clip(hi_xy[:, 0], 0, width)
+        hi_xy[:, 1] = np.clip(hi_xy[:, 1], 0, height)
+        box_w = np.maximum(hi_xy[:, 0] - lo_xy[:, 0], 1)
+        box_h = np.maximum(hi_xy[:, 1] - lo_xy[:, 1], 1)
+        return lo_xy, hi_xy, box_w, box_h
+
+    @staticmethod
+    def _inverse_barycentric(vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Inverse barycentric matrices: columns are the edge vectors from v0."""
+        v0 = vertices[:, 0]
+        edges = np.stack([vertices[:, 1] - v0, vertices[:, 2] - v0, vertices[:, 3] - v0], axis=2)
+        determinant = np.linalg.det(edges)
+        valid = np.abs(determinant) > 1e-12
+        inverse = np.zeros_like(edges)
+        if np.any(valid):
+            inverse[valid] = np.linalg.inv(edges[valid])
+        return v0, inverse, valid
+
     def _sample_pass(
+        self,
+        camera: Camera,
+        vertices: np.ndarray,
+        tet_scalars: np.ndarray,
+        face_planes: np.ndarray,
+        face_heights: np.ndarray,
+        first_slot: int,
+        last_slot: int,
+        sample_scalar: np.ndarray,
+        open_mask: np.ndarray,
+    ) -> int:
+        """Fragment-sorted sampler: fill the pass's sample buffer.
+
+        Enumerates only the 2D pixel columns of each active tet's clipped
+        screen box, computes the analytic slot span of every surviving column
+        from the tet's inward face planes, emits one fragment per in-span
+        (pixel, slot) candidate, re-runs the exact barycentric inside test on
+        the fragments, and resolves per-cell collisions with one combined
+        sort + segmented argmin over the whole pass.  Returns the number of
+        candidates visited (pixel columns plus span fragments).
+
+        ``open_mask`` flags the pixels still accepting samples (resident,
+        non-opaque lanes on the engine path).
+        """
+        config = self.config
+        width, height = camera.width, camera.height
+        v0, inverse, valid = self._inverse_barycentric(vertices)
+        lo_xy, _hi_xy, box_w, box_h = self._screen_boxes(vertices, width, height)
+
+        columns = box_w * box_h * valid
+        if int(columns.sum()) == 0:
+            return 0
+        order = np.flatnonzero(columns > 0)
+        visited = 0
+        fragments: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        for start, end in chunk_ranges(columns[order], config.pair_chunk):
+            chunk = order[start:end]
+            visited += self._fragment_chunk(
+                chunk,
+                lo_xy,
+                box_w,
+                box_h,
+                v0,
+                inverse,
+                tet_scalars,
+                face_planes,
+                face_heights,
+                first_slot,
+                last_slot,
+                sample_scalar.shape[1],
+                open_mask,
+                fragments,
+                image_width=width,
+            )
+        if fragments:
+            self._resolve_fragments(fragments, len(vertices), sample_scalar)
+        return visited
+
+    def _fragment_chunk(
+        self,
+        chunk: np.ndarray,
+        lo_xy: np.ndarray,
+        box_w: np.ndarray,
+        box_h: np.ndarray,
+        v0: np.ndarray,
+        inverse: np.ndarray,
+        tet_scalars: np.ndarray,
+        face_planes: np.ndarray,
+        face_heights: np.ndarray,
+        first_slot: int,
+        last_slot: int,
+        slots_per_row: int,
+        open_mask: np.ndarray,
+        fragments: list,
+        *,
+        image_width: int,
+    ) -> int:
+        """Emit the surviving (cell index, tet order, scalar) fragments of one chunk."""
+        counts = box_w[chunk] * box_h[chunk]
+        if counts.sum() == 0:
+            return 0
+        tet_of_pair = np.repeat(np.arange(len(chunk)), counts)
+        local = segment_local_indices(counts)
+        w_rep = np.repeat(box_w[chunk], counts)
+        dx = local % w_rep
+        dy = local // w_rep
+        tids = chunk[tet_of_pair]
+        px = lo_xy[tids, 0] + dx
+        py = lo_xy[tids, 1] + dy
+        pixel_flat = py * image_width + px
+        visited = int(len(pixel_flat))
+
+        # Early termination: drop columns on already-opaque pixels (a gather
+        # through the dpp choke point, counted as sampling work).
+        open_pixel = gather(open_mask, pixel_flat)
+        if not np.any(open_pixel):
+            return visited
+        tids = tids[open_pixel]
+        px, py, pixel_flat = px[open_pixel], py[open_pixel], pixel_flat[open_pixel]
+
+        # Analytic slot span of each column (a map over the columns): each
+        # inward face plane is linear in the slot coordinate at the fixed
+        # pixel center, so the tet's depth interval along the column is the
+        # intersection of four half-lines.
+        slot_start, slot_count = map_field(
+            lambda planes, heights, x, y: self._column_spans(
+                planes, heights, x, y, first_slot, last_slot
+            ),
+            face_planes[tids],
+            face_heights[tids],
+            px + 0.5,
+            py + 0.5,
+        )
+        has_span = slot_count > 0
+        if not np.any(has_span):
+            return visited
+        tids = tids[has_span]
+        px, py, pixel_flat = px[has_span], py[has_span], pixel_flat[has_span]
+        slot_start, slot_count = slot_start[has_span], slot_count[has_span]
+
+        # Expand the spans into per-(pixel, slot) fragments and re-run the
+        # reference sampler's exact inside test so the accepted set -- and
+        # with it the image -- matches the brute-force enumeration bit for
+        # bit (the span is conservative, never exact).
+        column_of = np.repeat(np.arange(len(tids)), slot_count)
+        slot = slot_start[column_of] + segment_local_indices(slot_count)
+        visited += int(len(slot))
+        tids = tids[column_of]
+        pixel_flat = pixel_flat[column_of]
+        sample_position = np.column_stack([px[column_of] + 0.5, py[column_of] + 0.5, slot + 0.5])
+        offset = sample_position - v0[tids]
+        barycentric = np.einsum("nij,nj->ni", inverse[tids], offset)
+        b0 = 1.0 - barycentric.sum(axis=1)
+        inside = (barycentric >= -1e-9).all(axis=1) & (b0 >= -1e-9)
+        if not np.any(inside):
+            return visited
+        tids = tids[inside]
+        barycentric = barycentric[inside]
+        values = (
+            b0[inside] * tet_scalars[tids, 0]
+            + barycentric[:, 0] * tet_scalars[tids, 1]
+            + barycentric[:, 1] * tet_scalars[tids, 2]
+            + barycentric[:, 2] * tet_scalars[tids, 3]
+        )
+        cell = pixel_flat[inside] * slots_per_row + (slot[inside] - first_slot)
+        fragments.append((cell, tids, values))
+        return visited
+
+    @staticmethod
+    def _column_spans(
+        planes: np.ndarray,
+        heights: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        first_slot: int,
+        last_slot: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """First slot index and slot count of each column's conservative span.
+
+        ``planes``/``heights`` are the per-column tet face planes ``(n, 4, 4)``
+        and clearances ``(n, 4)``; ``x``/``y`` the pixel centers.  A plane
+        ``(a, b, c, d)`` restricted to the column is ``base + c * s`` with
+        ``base = a*x + b*y + d``; the span is the set of slot centers
+        ``s = j + 0.5`` with ``base + c*s >= -slack`` for all four faces,
+        clipped to the pass's ``[first_slot, last_slot)`` slot range.
+        """
+        base = planes[:, :, 0] * x[:, None] + planes[:, :, 1] * y[:, None] + planes[:, :, 3]
+        slope = planes[:, :, 2]
+        slack = _SPAN_SLACK * (1.0 + heights)
+        rising = slope > 0.0
+        falling = slope < 0.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            bound = -(base + slack) / np.where(slope == 0.0, np.inf, slope)
+        span_lo = np.max(np.where(rising, bound, -np.inf), axis=1)
+        span_hi = np.min(np.where(falling, bound, np.inf), axis=1)
+        # A slot-parallel face decides the whole column at once.
+        dead = np.any(~rising & ~falling & (base < -slack), axis=1)
+        # Slot centers j + 0.5 inside [span_lo, span_hi], clipped to the pass
+        # (the clip also bounds the floats so the integer casts are safe).
+        start = np.clip(np.ceil(span_lo - 0.5), first_slot, last_slot).astype(np.int64)
+        stop = np.clip(np.floor(span_hi - 0.5), first_slot - 1, last_slot - 1).astype(np.int64)
+        count = np.where(dead, 0, np.maximum(stop - start + 1, 0))
+        return start, count
+
+    def _resolve_fragments(
+        self, fragments: list, num_tets: int, sample_scalar: np.ndarray
+    ) -> None:
+        """Deterministic collision resolution over one pass's fragments.
+
+        One combined sort on ``cell * num_tets + tet order`` groups the
+        fragments of every sample-buffer cell contiguously (the key is unique,
+        so the unstable argsort is deterministic), and a segmented argmin
+        keeps the highest-ordered tet per cell -- the same winner the
+        reference loop's in-order overwrite produces -- independent of how
+        ``pair_chunk`` split the work.  The winners scatter into the buffer.
+        """
+        cell = np.concatenate([f[0] for f in fragments])
+        tet_order = np.concatenate([f[1] for f in fragments])
+        values = np.concatenate([f[2] for f in fragments])
+        sort_key = cell * np.int64(num_tets) + tet_order
+        order = np.argsort(sort_key)
+        cell_sorted = cell[order]
+        new_cell = np.ones(len(order), dtype=bool)
+        new_cell[1:] = cell_sorted[1:] != cell_sorted[:-1]
+        starts = np.flatnonzero(new_cell)
+        tet_sorted = tet_order[order]
+        winners = segmented_argmin((num_tets - 1 - tet_sorted).astype(np.float64), starts, tet_sorted)
+        scatter(
+            gather(values, order[winners]),
+            cell_sorted[starts],
+            sample_scalar.reshape(-1),
+        )
+
+    # -- sampling (seed reference path) -----------------------------------------------------
+    def _sample_pass_reference(
         self,
         camera: Camera,
         vertices: np.ndarray,
@@ -360,40 +678,22 @@ class UnstructuredVolumeRenderer:
         sample_scalar: np.ndarray,
         open_mask: np.ndarray,
     ) -> int:
-        """Fill the pass's sample buffer; returns the number of candidate samples visited.
+        """Seed sampler: visit every candidate of each tet's 3D screen box.
 
-        ``open_mask`` flags the pixels still accepting samples (resident,
-        non-opaque lanes on the engine path; below-threshold pixels on the
+        Returns the number of candidate samples visited.  ``open_mask`` flags
+        the pixels still accepting samples (below-threshold pixels on the
         reference path).
         """
         config = self.config
         width, height = camera.width, camera.height
-
-        # Inverse barycentric matrices: columns are the edge vectors from v0.
-        v0 = vertices[:, 0]
-        edges = np.stack(
-            [vertices[:, 1] - v0, vertices[:, 2] - v0, vertices[:, 3] - v0], axis=2
-        )                                                    # (nt, 3, 3)
-        determinant = np.linalg.det(edges)
-        valid = np.abs(determinant) > 1e-12
-        inverse = np.zeros_like(edges)
-        if np.any(valid):
-            inverse[valid] = np.linalg.inv(edges[valid])
-
-        # Integer pixel bounding boxes and slot ranges, clipped to the image and pass.
-        lo_xy = np.floor(vertices[..., :2].min(axis=1)).astype(np.int64)
-        hi_xy = np.ceil(vertices[..., :2].max(axis=1)).astype(np.int64)
-        lo_xy[:, 0] = np.clip(lo_xy[:, 0], 0, width - 1)
-        lo_xy[:, 1] = np.clip(lo_xy[:, 1], 0, height - 1)
-        hi_xy[:, 0] = np.clip(hi_xy[:, 0], 0, width)
-        hi_xy[:, 1] = np.clip(hi_xy[:, 1], 0, height)
+        v0, inverse, valid = self._inverse_barycentric(vertices)
+        lo_xy, _hi_xy, box_w, box_h = self._screen_boxes(vertices, width, height)
         lo_slot = np.clip(np.floor(vertices[..., 2].min(axis=1)).astype(np.int64), first_slot, last_slot - 1)
         hi_slot = np.clip(np.ceil(vertices[..., 2].max(axis=1)).astype(np.int64), first_slot, last_slot)
 
-        # Sub-pixel / sub-slot tets still get one candidate sample so coarse
-        # meshes do not leave holes in the image.
-        box_w = np.maximum(hi_xy[:, 0] - lo_xy[:, 0], 1)
-        box_h = np.maximum(hi_xy[:, 1] - lo_xy[:, 1], 1)
+        # Sub-slot tets still get one candidate sample (box_d >= 1, matching
+        # the >= 1 pixel columns of _screen_boxes) so coarse meshes do not
+        # leave holes in the image.
         box_d = np.maximum(hi_slot - lo_slot, 1)
         footprint = box_w * box_h * box_d * valid
         total_candidates = int(footprint.sum())
@@ -405,8 +705,19 @@ class UnstructuredVolumeRenderer:
         for start, end in chunk_ranges(footprint[order], config.pair_chunk):
             chunk = order[start:end]
             visited += self._sample_chunk(
-                chunk, lo_xy, box_w, box_h, lo_slot, box_d, v0, inverse, tet_scalars,
-                first_slot, sample_scalar, open_mask, width,
+                chunk,
+                lo_xy,
+                box_w,
+                box_h,
+                lo_slot,
+                box_d,
+                v0,
+                inverse,
+                tet_scalars,
+                first_slot,
+                sample_scalar,
+                open_mask,
+                image_width=width,
             )
         return visited
 
@@ -424,9 +735,15 @@ class UnstructuredVolumeRenderer:
         first_slot: int,
         sample_scalar: np.ndarray,
         open_mask: np.ndarray,
-        image_width: int = 0,
+        *,
+        image_width: int,
     ) -> int:
-        """Evaluate the candidate samples of one chunk of tets."""
+        """Evaluate the candidate samples of one chunk of tets.
+
+        ``image_width`` is required (and keyword-only): it folds ``(px, py)``
+        into the flat pixel index, and a caller omitting it used to silently
+        alias every row onto the first (``py * 0 + px``).
+        """
         counts = box_w[chunk] * box_h[chunk] * box_d[chunk]
         if counts.sum() == 0:
             return 0

@@ -198,6 +198,48 @@ class TestPlan:
         plan = build_plan(self.CONFIG, include_compositing=False)
         assert plan.counts()["compositing"] == 0
 
+    def test_full_preset_sweeps_unstructured_at_full_resolution(self):
+        # The fragment-sorted sampler removed the unstructured perf cliff, so
+        # the full preset now stratifies all four families -- unstructured
+        # included -- up to the benchmark's 192^2 ceiling.
+        from repro.study.plan import full_configuration
+
+        config = full_configuration()
+        assert "volume_unstructured" in config.techniques
+        assert config.image_size_range == (64, 192)
+        plan = build_plan(config)
+        unstructured = [
+            spec
+            for spec in plan.specs
+            if spec.kind == "render" and spec.technique == "volume_unstructured"
+        ]
+        assert len(unstructured) == config.samples_per_technique
+        assert max(spec.image_width for spec in unstructured) > 160
+
+    def test_unstructured_experiment_phases_follow_schema(self):
+        # Section 5.8 features roll phases up through the standard schema;
+        # every phase the unstructured renderer reports must be registered.
+        from repro.rendering.result import PHASE_GROUPS
+
+        config = StudyConfiguration(
+            simulations=("kripke",),
+            techniques=("volume_unstructured",),
+            task_counts=(2,),
+            samples_per_technique=1,
+            image_size_range=(32, 40),
+            cells_per_task_range=(4, 5),
+            samples_in_depth=12,
+            seed=9,
+        )
+        record = StudyHarness(config).run_experiment("volume_unstructured", "kripke", 2, 4, 32, 32)
+        assert record.technique == "volume_unstructured"
+        assert set(record.phase_seconds) <= set(PHASE_GROUPS)
+        grouped = {}
+        for phase, seconds in record.phase_seconds.items():
+            grouped[PHASE_GROUPS[phase]] = grouped.get(PHASE_GROUPS[phase], 0.0) + seconds
+        assert sum(grouped.values()) == pytest.approx(record.total_seconds)
+        assert record.frame_seconds > 0.0
+
 
 # ---------------------------------------------------------------------------
 # Engine vs serial oracle (the acceptance differential)
