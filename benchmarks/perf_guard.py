@@ -1,16 +1,21 @@
-"""Smoke perf-regression guard against the checked-in ``BENCH_render.json``.
+"""Smoke perf-regression guard against the checked-in BENCH records.
 
 Re-measures a CI-sized subset of the render-throughput trajectory (the 96^2
-workloads, the structured volume caster, and 64-rank compositing) and fails
-when any number regresses by more than the tolerance (default 30%) against
-the record's ``current`` section:
+workloads, the structured volume caster, and 64-rank compositing, from
+``BENCH_render.json``) plus the prediction-serving tier's smoke load (from
+``BENCH_serving.json``) and fails when any number regresses by more than the
+tolerance (default 30%) against the records' ``current`` sections:
 
     python -m benchmarks.perf_guard [--tolerance 0.30] [--against BENCH_render.json]
+                                    [--against-serving BENCH_serving.json]
 
 Throughput sections (``raytracer``, ``volume``, Mrays/s) regress *down*;
 the ``compositing`` section (seconds per composite) regresses *up*.  The
-comparison logic (:func:`compare_sections`) is pure and unit-tested; only
-``measure_smoke`` touches wall clocks.
+``serving`` section mixes directions per key -- predictions/sec falls, p99
+latency rises -- so :data:`HIGHER_IS_BETTER` values are either a bool for a
+whole section or a per-key dict.  The comparison logic
+(:func:`compare_sections`) is pure and unit-tested; only ``measure_smoke``
+touches wall clocks.
 """
 
 from __future__ import annotations
@@ -31,10 +36,17 @@ SMOKE_KEYS = {
     "raytracer": ("intersection_only_96", "shading_96", "full_96"),
     "volume": ("structured_96", "unstructured_96"),
     "compositing": ("direct-send_64", "binary-swap_64", "radix-k_64"),
+    "serving": ("smoke_predictions_per_s", "smoke_p99_ms"),
 }
 
-#: Regression direction per section: Mrays/s fall, seconds rise.
-HIGHER_IS_BETTER = {"raytracer": True, "volume": True, "compositing": False}
+#: Regression direction: a bool for a whole section, or a per-key dict when a
+#: section mixes directions (serving throughput falls, latency rises).
+HIGHER_IS_BETTER = {
+    "raytracer": True,
+    "volume": True,
+    "compositing": False,
+    "serving": {"smoke_predictions_per_s": True, "smoke_p99_ms": False},
+}
 
 
 def compare_sections(
@@ -51,9 +63,10 @@ def compare_sections(
     """
     rows = []
     for section, values in measured.items():
-        higher_better = HIGHER_IS_BETTER[section]
+        direction = HIGHER_IS_BETTER[section]
         current = baseline.get(section, {}).get("current", {})
         for key, value in values.items():
+            higher_better = direction if isinstance(direction, bool) else direction[key]
             if key not in current:
                 rows.append(
                     {
@@ -94,6 +107,8 @@ def measure_smoke() -> dict[str, dict[str, float]]:
     from common import surface_scene_pool
     from repro.rendering import Workload
 
+    import bench_serving_throughput as serving_bench
+
     pool = surface_scene_pool()[raytracer_bench.POOL_SLICE]
     workloads = {
         "intersection_only_96": Workload.INTERSECTION_ONLY,
@@ -113,6 +128,7 @@ def measure_smoke() -> dict[str, dict[str, float]]:
         measured["compositing"][key] = compositing_bench.measure_algorithm(
             algorithm, int(tasks), 256
         )["seconds"]
+    measured["serving"] = dict(serving_bench.measure_smoke_serving())
     return measured
 
 
@@ -125,12 +141,21 @@ def main(argv: list[str] | None = None) -> int:
         "--against", default=str(_BENCH_DIR.parent / "BENCH_render.json"), help="baseline record"
     )
     parser.add_argument(
+        "--against-serving",
+        default=str(_BENCH_DIR.parent / "BENCH_serving.json"),
+        help="serving-tier baseline record",
+    )
+    parser.add_argument(
         "--tolerance", type=float, default=0.30, help="allowed fractional regression (default 0.30)"
     )
     args = parser.parse_args(argv)
 
     with open(args.against, encoding="utf-8") as handle:
         baseline = json.load(handle)
+    serving_record = Path(args.against_serving)
+    if serving_record.exists():
+        with open(serving_record, encoding="utf-8") as handle:
+            baseline["serving"] = json.load(handle).get("serving", {})
     print(f"measuring smoke subset ({sum(len(keys) for keys in SMOKE_KEYS.values())} keys) ...")
     measured = measure_smoke()
     rows = compare_sections(baseline, measured, args.tolerance)

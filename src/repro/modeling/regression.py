@@ -41,13 +41,25 @@ class LinearRegressionResult:
     term_names: tuple[str, ...] = ()
 
     def predict(self, design: np.ndarray) -> np.ndarray:
-        """Predictions for a new design matrix with the same columns."""
+        """Predictions for a new design matrix with the same columns.
+
+        Accumulates column-by-column in fixed term order instead of calling
+        BLAS gemv: each row's result is then bit-identical however many rows
+        share the call (gemv picks different kernels by matrix size, which
+        perturbs the last ulp).  The serving tier's batch-invariance contract
+        -- a micro-batched prediction must equal the same query served alone
+        -- depends on this.
+        """
         design = np.atleast_2d(np.asarray(design, dtype=np.float64))
         if design.shape[1] != len(self.coefficients):
             raise ValueError(
                 f"design matrix has {design.shape[1]} columns, expected {len(self.coefficients)}"
             )
-        return design @ self.coefficients
+        coefficients = self.coefficients
+        total = design[:, 0] * coefficients[0]
+        for column in range(1, len(coefficients)):
+            total = total + design[:, column] * coefficients[column]
+        return total
 
     def named_coefficients(self) -> dict[str, float]:
         """Coefficients keyed by term name (``c0``, ``c1``, ... when unnamed)."""

@@ -29,14 +29,31 @@ from pathlib import Path
 import numpy as np
 
 from repro.modeling.features import feature_arrays, map_configuration_batch
-from repro.modeling.models import CompositingModel, RayTracingModel
+from repro.modeling.models import RayTracingModel
+from repro.modeling.regression import LinearRegressionResult
 from repro.rendering.result import ObservedFeatures
 from repro.reporting.suite import FittedModel, ModelSuite
 
-__all__ = ["PredictionBatch", "Predictor", "DEFAULT_INTERVAL_SIGMAS"]
+__all__ = ["PredictionBatch", "Predictor", "TermPlan", "DEFAULT_INTERVAL_SIGMAS"]
 
 #: Interval half-width in residual standard deviations (~95% under normality).
 DEFAULT_INTERVAL_SIGMAS = 2.0
+
+
+@dataclass(frozen=True)
+class TermPlan:
+    """Hoisted term-design metadata for one ``(entry, include_build)`` query shape.
+
+    Built once per shape and cached on the :class:`Predictor`: the ordered
+    ``(term-matrix builder, fit)`` pairs and the combined residual standard
+    deviation.  Repeated ``predict_features``/``predict_configurations`` calls
+    on the same slice reuse the plan instead of re-dispatching on the model
+    type and re-deriving the interval variance per call -- the serving tier's
+    hot path hits this thousands of times per second.
+    """
+
+    builders: tuple[tuple[object, LinearRegressionResult], ...]
+    residual_std: float
 
 
 @dataclass
@@ -68,6 +85,7 @@ class Predictor:
 
     def __init__(self, suite: ModelSuite) -> None:
         self.suite = suite
+        self._plans: dict[tuple[str, str, bool], TermPlan] = {}
 
     @classmethod
     def load(cls, path: str | Path) -> "Predictor":
@@ -141,25 +159,42 @@ class Predictor:
         return self._predict_entry(entry, arrays, include_build=False, sigmas=sigmas)
 
     # -- internals ---------------------------------------------------------------------
+    def term_plan(self, entry: FittedModel, include_build: bool) -> TermPlan:
+        """The cached :class:`TermPlan` for one entry and build-inclusion choice.
+
+        Building a plan resolves the model-type dispatch, the term-matrix
+        builders, and the (quadrature-combined, for ray tracing with build)
+        residual standard deviation exactly once; every later call on the
+        same shape is a dictionary hit with no new structure allocated.
+        """
+        key = (entry.architecture, entry.technique, include_build)
+        plan = self._plans.get(key)
+        if plan is not None:
+            return plan
+        model = entry.model
+        if isinstance(model, RayTracingModel):
+            builders = [(RayTracingModel.frame_term_matrix, model.frame_fit)]
+            variance = model.frame_fit.residual_std**2
+            if include_build:
+                builders.append((RayTracingModel.build_term_matrix, model.build_fit))
+                variance += model.build_fit.residual_std**2
+            plan = TermPlan(tuple(builders), float(np.sqrt(variance)))
+        else:
+            plan = TermPlan(
+                ((type(model).term_matrix, model.fit_result),), float(model.fit_result.residual_std)
+            )
+        self._plans[key] = plan
+        return plan
+
     def _predict_entry(
         self, entry: FittedModel, arrays: dict[str, np.ndarray], include_build: bool, sigmas: float
     ) -> PredictionBatch:
-        model = entry.model
-        if isinstance(model, RayTracingModel):
-            seconds = model.frame_fit.predict(RayTracingModel.frame_term_matrix(arrays))
-            variance = model.frame_fit.residual_std**2
-            if include_build:
-                seconds = seconds + model.build_fit.predict(RayTracingModel.build_term_matrix(arrays))
-                variance += model.build_fit.residual_std**2
-            residual_std = float(np.sqrt(variance))
-        elif isinstance(model, CompositingModel):
-            fit = model.fit_result
-            seconds = fit.predict(CompositingModel.term_matrix(arrays))
-            residual_std = float(fit.residual_std)
-        else:
-            fit = model.fit_result
-            seconds = fit.predict(type(model).term_matrix(arrays))
-            residual_std = float(fit.residual_std)
+        plan = self.term_plan(entry, include_build)
+        seconds = None
+        for builder, fit in plan.builders:
+            term_seconds = fit.predict(builder(arrays))
+            seconds = term_seconds if seconds is None else seconds + term_seconds
+        residual_std = plan.residual_std
         half_width = sigmas * residual_std
         return PredictionBatch(
             seconds=seconds,

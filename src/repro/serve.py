@@ -1,0 +1,10 @@
+"""``python -m repro.serve`` -- launch the prediction server (README quick-start).
+
+A thin shim over :func:`repro.serving.server.main`; see :mod:`repro.serving`
+for the serving tier itself.
+"""
+
+from repro.serving.server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""``python -m repro.serving`` -- same entry point as ``python -m repro.serve``."""
+
+from repro.serving.server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

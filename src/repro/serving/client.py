@@ -1,0 +1,84 @@
+"""A minimal stdlib asyncio HTTP/1.1 client for the prediction server.
+
+Used by the serving tests and the load-generation benchmark.  Two layers:
+
+* Pure helpers -- :func:`request_bytes` builds a wire request,
+  :func:`read_response` parses one response off a stream (keep-alive aware,
+  ``Content-Length`` only: exactly what the server emits).
+* :class:`ServingClient` -- a persistent connection with sequential
+  request/response convenience calls (``predict``, ``stats``, ``reload``).
+
+The load benchmark drives *pipelined* traffic (many requests written before
+any response is read) straight through the helpers; the client class stays
+deliberately sequential so its latency numbers are per-request truths.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+__all__ = ["request_bytes", "read_response", "ServingClient"]
+
+
+def request_bytes(method: str, path: str, payload: object | None = None) -> bytes:
+    """One HTTP/1.1 keep-alive request on the wire."""
+    body = b"" if payload is None else json.dumps(payload, separators=(",", ":")).encode()
+    return (
+        f"{method} {path} HTTP/1.1\r\nHost: serving\r\nContent-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode() + body
+
+
+async def read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    """Parse one ``(status, body)`` response off the stream."""
+    header = await reader.readuntil(b"\r\n\r\n")
+    status = int(header.split(b" ", 2)[1])
+    length = 0
+    lowered = header.lower()
+    marker = lowered.find(b"content-length:")
+    if marker >= 0:
+        line_end = lowered.find(b"\r\n", marker)
+        length = int(lowered[marker + 15 : line_end])
+    body = await reader.readexactly(length) if length else b""
+    return status, body
+
+
+class ServingClient:
+    """A sequential keep-alive connection to one prediction server."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServingClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, method: str, path: str, payload: object | None = None) -> tuple[int, dict]:
+        self.writer.write(request_bytes(method, path, payload))
+        await self.writer.drain()
+        status, body = await read_response(self.reader)
+        return status, json.loads(body) if body else {}
+
+    async def predict(self, configs: list[dict] | dict, sigmas: float | None = None) -> tuple[int, dict]:
+        payload: object = configs
+        if sigmas is not None:
+            payload = {"configs": configs if isinstance(configs, list) else [configs], "sigmas": sigmas}
+        return await self.request("POST", "/predict", payload)
+
+    async def stats(self) -> dict:
+        _, payload = await self.request("GET", "/stats")
+        return payload
+
+    async def reload(self) -> dict:
+        _, payload = await self.request("POST", "/reload")
+        return payload
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

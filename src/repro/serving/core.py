@@ -1,0 +1,371 @@
+"""The synchronous serving core: canonical configs, result cache, vectorized groups.
+
+Everything request-shaped funnels through :meth:`ServingCore.predict_canonical`
+-- the HTTP server's micro-batch flush and the ``python -m repro.study
+predict`` CLI alike -- so there is exactly one request path to keep
+bit-identical to :meth:`Predictor.predict_configurations
+<repro.reporting.predictor.Predictor.predict_configurations>`:
+
+* :func:`canonical_config` validates one user-facing configuration dict and
+  reduces it to a hashable canonical tuple (defaults filled, types pinned).
+  The tuple *is* the config hash: equal tuples are equal queries.
+* :class:`LRUCache` is the result cache.  Keys are
+  ``(models digest, schema version, canonical config, sigmas)`` so a hot
+  reload of ``models.json`` invalidates by construction -- stale entries can
+  never be served, they simply stop being referenced and age out.
+* :class:`ModelHandle` is an immutable snapshot of one loaded ``models.json``
+  (predictor + content digest + availability set).  Hot reload builds a new
+  handle and swaps it with a single attribute assignment; any batch that
+  captured the old handle keeps serving it to completion, so every response
+  in a batch is stamped with the digest that actually produced it.
+
+Cached values hold only the numeric results ``(seconds, lower, upper,
+residual_std)``; the config echo in a response row always comes from the
+incoming request, so two configs that canonicalize identically but spell
+extra keys differently still get faithful echoes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.modeling.features import TECHNIQUES
+from repro.reporting.predictor import DEFAULT_INTERVAL_SIGMAS, Predictor
+from repro.reporting.suite import MODELS_SCHEMA_VERSION, ModelSuite
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "RENDER_DEFAULTS",
+    "ServingError",
+    "canonical_config",
+    "LRUCache",
+    "ModelHandle",
+    "ServingCore",
+]
+
+#: Default maximum number of cached prediction results.
+DEFAULT_CACHE_SIZE = 4096
+
+#: Defaults filled into render configurations (mirrors the ``predict`` CLI).
+RENDER_DEFAULTS = {
+    "num_tasks": 32,
+    "cells_per_task": 200,
+    "image_width": 1024,
+    "image_height": 1024,
+    "samples_in_depth": 1000,
+    "include_build": True,
+}
+
+#: Result fields attached to every response row, in canonical order.
+RESULT_FIELDS = ("seconds", "lower", "upper", "residual_std")
+
+
+class ServingError(Exception):
+    """A structured request failure (JSON error payload + machine-readable code)."""
+
+    def __init__(self, code: str, message: str, **detail) -> None:
+        super().__init__(message)
+        self.code = code
+        self.detail = detail
+
+    def payload(self) -> dict:
+        """The JSON error object clients (and the CLI) receive."""
+        error = {"code": self.code, "message": str(self)}
+        error.update(self.detail)
+        return {"error": error}
+
+
+def _positive_int(config: dict, key: str, default: int) -> int:
+    value = config.get(key, default)
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise ServingError(
+            "invalid-configuration", f"configuration key {key!r} must be an integer, got {value!r}"
+        ) from None
+    if value < 1:
+        raise ServingError("invalid-configuration", f"configuration key {key!r} must be positive")
+    return value
+
+
+def canonical_config(config: dict) -> tuple:
+    """Validate one configuration dict and reduce it to its canonical tuple.
+
+    Render configurations canonicalize to ``("render", architecture,
+    technique, num_tasks, cells_per_task, image_width, image_height,
+    samples_in_depth, include_build)``; Eq. 5.5 queries to ``("compositing",
+    average_active_pixels, pixels)``.  The tuple is the cache-key identity of
+    the query: two dicts spelling the same configuration (defaults implicit
+    or explicit, extra annotation keys, int-vs-float spellings) canonicalize
+    identically.
+    """
+    if not isinstance(config, dict):
+        raise ServingError(
+            "invalid-configuration", f"each configuration must be a JSON object, got {type(config).__name__}"
+        )
+    technique = config.get("technique")
+    if technique == "compositing":
+        missing = [key for key in ("average_active_pixels", "pixels") if key not in config]
+        if missing:
+            raise ServingError(
+                "invalid-configuration",
+                "compositing configurations need 'average_active_pixels' and 'pixels' keys",
+                missing=missing,
+            )
+        try:
+            average = float(config["average_active_pixels"])
+            pixels = int(config["pixels"])
+        except (TypeError, ValueError):
+            raise ServingError(
+                "invalid-configuration",
+                "compositing configurations need numeric 'average_active_pixels' and 'pixels'",
+            ) from None
+        return ("compositing", average, pixels)
+    if technique not in TECHNIQUES:
+        raise ServingError(
+            "invalid-configuration",
+            f"unknown technique {technique!r}; choose from {list(TECHNIQUES) + ['compositing']}",
+        )
+    architecture = config.get("architecture")
+    if not isinstance(architecture, str) or not architecture:
+        raise ServingError("invalid-configuration", "configurations need a non-empty 'architecture'")
+    return (
+        "render",
+        architecture,
+        technique,
+        _positive_int(config, "num_tasks", RENDER_DEFAULTS["num_tasks"]),
+        _positive_int(config, "cells_per_task", RENDER_DEFAULTS["cells_per_task"]),
+        _positive_int(config, "image_width", RENDER_DEFAULTS["image_width"]),
+        _positive_int(config, "image_height", RENDER_DEFAULTS["image_height"]),
+        _positive_int(config, "samples_in_depth", RENDER_DEFAULTS["samples_in_depth"]),
+        bool(config.get("include_build", RENDER_DEFAULTS["include_build"])),
+    )
+
+
+class LRUCache:
+    """A counting LRU result cache; ``maxsize <= 0`` disables caching entirely."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = int(maxsize)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key):
+        """The cached value, or ``None`` on a miss (values are never ``None``)."""
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        # Re-insertion moves the key to the MRU end (dicts preserve order).
+        del self._data[key]
+        self._data[key] = value
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        if self.maxsize <= 0:
+            return
+        self._data.pop(key, None)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.pop(next(iter(self._data)))
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass(frozen=True)
+class ModelHandle:
+    """One immutable loaded ``models.json``: the unit hot reload swaps atomically."""
+
+    predictor: Predictor
+    digest: str
+    path: str
+    generation: int
+    schema: int = MODELS_SCHEMA_VERSION
+    available: frozenset = field(default_factory=frozenset)
+    has_compositing: bool = False
+
+    @classmethod
+    def from_bytes(cls, data: bytes, path: str, generation: int = 0) -> "ModelHandle":
+        """Build a handle from raw ``models.json`` bytes (the watcher's entry point)."""
+        import hashlib
+
+        suite = ModelSuite.from_payload(json.loads(data))
+        return cls(
+            predictor=Predictor(suite),
+            digest=hashlib.sha256(data).hexdigest(),
+            path=str(path),
+            generation=generation,
+            available=frozenset(suite.entries),
+            has_compositing=suite.compositing is not None,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path, generation: int = 0) -> "ModelHandle":
+        return cls.from_bytes(Path(path).read_bytes(), str(path), generation)
+
+    def missing_slice(self, canon: tuple) -> tuple[str, str] | None:
+        """The ``(architecture, technique)`` this handle cannot serve, if any."""
+        if canon[0] == "compositing":
+            return None if self.has_compositing else ("-", "compositing")
+        key = (canon[1], canon[2])
+        return None if key in self.available else key
+
+    def availability(self) -> list[list[str]]:
+        """Sorted JSON-friendly list of servable ``(architecture, technique)`` keys."""
+        keys = sorted(self.available)
+        if self.has_compositing:
+            keys.append(("-", "compositing"))
+        return [list(key) for key in keys]
+
+
+class ServingCore:
+    """Cache + vectorized group execution over an atomically swappable handle."""
+
+    def __init__(
+        self,
+        handle: ModelHandle,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        default_sigmas: float = DEFAULT_INTERVAL_SIGMAS,
+    ) -> None:
+        self._handle = handle
+        self.cache = LRUCache(cache_size)
+        self.default_sigmas = float(default_sigmas)
+        self.predictions_served = 0
+
+    @classmethod
+    def from_path(
+        cls,
+        path: str | Path,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        default_sigmas: float = DEFAULT_INTERVAL_SIGMAS,
+    ) -> "ServingCore":
+        return cls(ModelHandle.load(path), cache_size=cache_size, default_sigmas=default_sigmas)
+
+    @property
+    def handle(self) -> ModelHandle:
+        """The current handle; capture it once per batch for torn-read-free serving."""
+        return self._handle
+
+    def swap(self, handle: ModelHandle) -> None:
+        """Atomically install a new handle (a single attribute assignment)."""
+        self._handle = handle
+
+    # -- the request path ----------------------------------------------------------------
+    def predict_canonical(
+        self, canon: list[tuple], sigmas: float | None = None, handle: ModelHandle | None = None
+    ) -> list[tuple[float, float, float, float]]:
+        """Serve canonical configs: cache lookups, then one vectorized call per group.
+
+        Returns one ``(seconds, lower, upper, residual_std)`` tuple per input,
+        in input order.  Raises :class:`ServingError` (``unknown-model``) when
+        the handle cannot serve a referenced slice -- callers that need
+        per-request error isolation (the micro-batcher) pre-screen with
+        :meth:`ModelHandle.missing_slice`.
+        """
+        handle = handle or self._handle
+        sigmas = self.default_sigmas if sigmas is None else float(sigmas)
+        results: list = [None] * len(canon)
+        groups: dict[tuple, list[int]] = {}
+        cache = self.cache
+        for index, key in enumerate(canon):
+            cached = cache.get((handle.digest, handle.schema, key, sigmas))
+            if cached is not None:
+                results[index] = cached
+                continue
+            group = ("compositing",) if key[0] == "compositing" else (key[1], key[2], key[8])
+            groups.setdefault(group, []).append(index)
+        for group, indices in groups.items():
+            batch = self._predict_group(handle, group, [canon[i] for i in indices], sigmas)
+            for position, index in enumerate(indices):
+                value = (
+                    float(batch.seconds[position]),
+                    float(batch.lower[position]),
+                    float(batch.upper[position]),
+                    float(batch.residual_std),
+                )
+                results[index] = value
+                cache.put((handle.digest, handle.schema, canon[index], sigmas), value)
+        self.predictions_served += len(canon)
+        return results
+
+    def _predict_group(self, handle: ModelHandle, group: tuple, canon: list[tuple], sigmas: float):
+        missing = handle.missing_slice(canon[0])
+        if missing is not None:
+            raise ServingError(
+                "unknown-model",
+                f"no fitted model for ({missing[0]!r}, {missing[1]!r})",
+                architecture=missing[0],
+                technique=missing[1],
+                available=handle.availability(),
+                models_digest=handle.digest,
+            )
+        if group[0] == "compositing":
+            return handle.predictor.predict_compositing(
+                average_active_pixels=np.array([key[1] for key in canon], dtype=np.float64),
+                pixels=np.array([key[2] for key in canon], dtype=np.float64),
+                sigmas=sigmas,
+            )
+        architecture, technique, include_build = group
+        return handle.predictor.predict_configurations(
+            architecture,
+            technique,
+            num_tasks=np.array([key[3] for key in canon], dtype=np.float64),
+            cells_per_task=np.array([key[4] for key in canon], dtype=np.float64),
+            image_width=np.array([key[5] for key in canon], dtype=np.float64),
+            image_height=np.array([key[6] for key in canon], dtype=np.float64),
+            samples_in_depth=np.array([key[7] for key in canon], dtype=np.float64),
+            include_build=include_build,
+            sigmas=sigmas,
+        )
+
+    def predict_rows(
+        self, configs: list[dict], sigmas: float | None = None, handle: ModelHandle | None = None
+    ) -> tuple[list[dict], dict]:
+        """The CLI-facing request path: config dicts in, echo-carrying rows out.
+
+        Each row is the input configuration plus ``seconds``/``lower``/
+        ``upper``/``residual_std``; ``meta`` carries the serving digest.  Byte
+        determinism contract: the numeric fields of a row depend only on the
+        configuration, the handle, and ``sigmas`` -- never on batch
+        composition, arrival order, or cache state.
+        """
+        handle = handle or self._handle
+        canon = [canonical_config(config) for config in configs]
+        results = self.predict_canonical(canon, sigmas=sigmas, handle=handle)
+        rows = [
+            {**config, **dict(zip(RESULT_FIELDS, result))}
+            for config, result in zip(configs, results)
+        ]
+        return rows, {"models_digest": handle.digest, "generation": handle.generation}
+
+    def stats(self) -> dict:
+        handle = self._handle
+        return {
+            "models": {
+                "path": handle.path,
+                "digest": handle.digest,
+                "schema": handle.schema,
+                "generation": handle.generation,
+                "available": handle.availability(),
+            },
+            "cache": self.cache.stats(),
+            "predictions_served": self.predictions_served,
+        }

@@ -20,12 +20,17 @@ Subcommands
     11-15 as JSON + Markdown, manifest, and the consolidated ``report.md``.
 ``predict``
     Load a ``models.json`` and serve batch predictions with bounded-error
-    intervals for inline or file-supplied configurations.
+    intervals for inline or file-supplied configurations.  The request goes
+    through the serving tier's request path
+    (:meth:`repro.serving.core.ServingCore.predict_rows`), so CLI answers are
+    bit-identical to what ``python -m repro.serve`` returns over the socket.
 
 Exit codes: 0 success; 2 argument/usage errors (argparse); 3 a ``run`` with
 ``--require-cached`` executed at least one experiment; 4 a ``run`` recorded
 failure rows; 5 a ``fit``/``report`` where *every* fit was degenerate (the
-structured failure report is printed as JSON).
+structured failure report is printed as JSON); 6 a ``predict`` naming an
+unknown ``(architecture, technique)`` slice (the structured JSON error is
+printed to stdout).
 """
 
 from __future__ import annotations
@@ -43,6 +48,9 @@ from repro.study.plan import build_plan, full_configuration, smoke_configuration
 
 #: Exit code of a fit/report whose every slice was degenerate.
 EXIT_ALL_FITS_DEGENERATE = 5
+
+#: Exit code of a predict naming an unknown (architecture, technique) slice.
+EXIT_UNKNOWN_MODEL = 6
 
 __all__ = ["main", "build_parser"]
 
@@ -302,9 +310,9 @@ def _command_report(args) -> int:
 
 
 def _command_predict(args) -> int:
-    from repro.reporting.predictor import Predictor
+    from repro.serving.core import ServingCore, ServingError
 
-    predictor = Predictor.load(args.models)
+    core = ServingCore.from_path(args.models, cache_size=0)
     if args.configs:
         with open(args.configs, encoding="utf-8") as handle:
             configs = json.load(handle)
@@ -332,12 +340,21 @@ def _command_predict(args) -> int:
         ]
 
     try:
-        rows = _predict_rows(predictor, configs, args.sigmas)
-    except (KeyError, ValueError) as error:
-        message = error.args[0] if error.args else str(error)
-        print(f"error: {message}", file=sys.stderr)
+        rows, meta = core.predict_rows(configs, sigmas=args.sigmas)
+    except ServingError as error:
+        if error.code == "unknown-model":
+            # The structured error a serving client would receive, exit 6.
+            print(json.dumps(error.payload(), indent=2, sort_keys=True))
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_UNKNOWN_MODEL
+        print(f"error: {error}", file=sys.stderr)
         return 2
-    payload = {"models": args.models, "sigmas": args.sigmas, "predictions": rows}
+    payload = {
+        "models": args.models,
+        "models_digest": meta["models_digest"],
+        "sigmas": args.sigmas,
+        "predictions": rows,
+    }
     text = json.dumps(payload, indent=2, sort_keys=True)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -346,70 +363,6 @@ def _command_predict(args) -> int:
     else:
         print(text)
     return 0
-
-
-def _predict_rows(predictor, configs: list[dict], sigmas: float) -> list[dict]:
-    """Batch-predict a heterogeneous config list, vectorized per model group.
-
-    Configurations are grouped by ``(architecture, technique, include_build)``
-    so each fitted model serves its whole group in one vectorized call; rows
-    come back in input order.
-    """
-    import numpy as np
-
-    groups: dict[tuple[str, str, bool], list[int]] = {}
-    for index, config in enumerate(configs):
-        key = (
-            config["architecture"],
-            config["technique"],
-            bool(config.get("include_build", True)),
-        )
-        groups.setdefault(key, []).append(index)
-    rows: list[dict | None] = [None] * len(configs)
-    for (architecture, technique, include_build), indices in groups.items():
-        if technique == "compositing":
-            # Eq. 5.5 queries carry their own inputs (no render mapping).
-            needed = ("average_active_pixels", "pixels")
-            if any(key not in configs[i] for i in indices for key in needed):
-                raise ValueError(
-                    "compositing configurations need 'average_active_pixels' and 'pixels' keys"
-                )
-            batch = predictor.predict_compositing(
-                average_active_pixels=np.array(
-                    [float(configs[i]["average_active_pixels"]) for i in indices]
-                ),
-                pixels=np.array([int(configs[i]["pixels"]) for i in indices]),
-                sigmas=sigmas,
-            )
-            for position, index in enumerate(indices):
-                rows[index] = {
-                    **configs[index],
-                    "seconds": float(batch.seconds[position]),
-                    "lower": float(batch.lower[position]),
-                    "upper": float(batch.upper[position]),
-                    "residual_std": batch.residual_std,
-                }
-            continue
-        batch = predictor.predict_configurations(
-            architecture,
-            technique,
-            num_tasks=np.array([configs[i].get("num_tasks", 32) for i in indices]),
-            cells_per_task=np.array([configs[i].get("cells_per_task", 200) for i in indices]),
-            image_width=np.array([configs[i].get("image_width", 1024) for i in indices]),
-            image_height=np.array([configs[i].get("image_height", 1024) for i in indices]),
-            samples_in_depth=np.array([configs[i].get("samples_in_depth", 1000) for i in indices]),
-            include_build=include_build,
-            sigmas=sigmas,
-        )
-        for position, index in enumerate(indices):
-            rows[index] = {
-                **configs[index],
-                "seconds": float(batch.seconds[position]),
-                "lower": float(batch.lower[position]),
-                "upper": float(batch.upper[position]),
-                "residual_std": batch.residual_std,
-            }
-    return rows
 
 
 def main(argv: list[str] | None = None) -> int:

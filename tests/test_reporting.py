@@ -453,13 +453,17 @@ class TestReportingCLI:
         assert code == 2
         assert "average_active_pixels" in capsys.readouterr().err
 
-    def test_predict_unknown_model_is_a_usage_error(self, suite, tmp_path, capsys):
+    def test_predict_unknown_model_is_a_structured_error(self, suite, tmp_path, capsys):
         models = str(suite.save(tmp_path / "models.json"))
         code = study_cli.main(
             ["predict", models, "--architecture", "nope", "--technique", "raytrace"]
         )
-        assert code == 2
-        assert "available" in capsys.readouterr().err
+        assert code == study_cli.EXIT_UNKNOWN_MODEL
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["error"]["code"] == "unknown-model"
+        assert payload["error"]["available"], "the error must list the servable slices"
+        assert "no fitted model" in captured.err
 
     def test_predict_requires_a_configuration_source(self, suite, tmp_path, capsys):
         models = str(suite.save(tmp_path / "models.json"))
@@ -472,6 +476,7 @@ class TestPerfGuardLogic:
         "raytracer": {"current": {"full_96": 0.20}},
         "volume": {"current": {"structured_96": 0.18}},
         "compositing": {"current": {"radix-k_64": 0.16}},
+        "serving": {"current": {"smoke_predictions_per_s": 1000.0, "smoke_p99_ms": 50.0}},
     }
 
     def test_within_tolerance_passes(self):
@@ -504,11 +509,36 @@ class TestPerfGuardLogic:
         [row] = rows
         assert not row["regressed"] and row["note"] == "no baseline entry"
 
+    def test_serving_section_mixes_directions_per_key(self):
+        # Throughput halves (fails); latency improves in the same section (passes).
+        measured = {"serving": {"smoke_predictions_per_s": 500.0, "smoke_p99_ms": 40.0}}
+        rows = compare_sections(self.BASELINE, measured, tolerance=0.30)
+        by_key = {row["key"]: row for row in rows}
+        assert by_key["smoke_predictions_per_s"]["regressed"]
+        assert by_key["smoke_predictions_per_s"]["regression"] == pytest.approx(0.5)
+        assert not by_key["smoke_p99_ms"]["regressed"]
+        assert by_key["smoke_p99_ms"]["regression"] == pytest.approx(-0.2)
+
+    def test_serving_latency_rise_fails(self):
+        rows = compare_sections(self.BASELINE, {"serving": {"smoke_p99_ms": 80.0}}, tolerance=0.30)
+        [row] = rows
+        assert row["regressed"] and row["regression"] == pytest.approx(0.6)
+
     def test_checked_in_bench_record_has_every_smoke_key(self):
         from perf_guard import HIGHER_IS_BETTER, SMOKE_KEYS
 
-        record = json.loads((Path(__file__).resolve().parents[1] / "BENCH_render.json").read_text())
+        root = Path(__file__).resolve().parents[1]
+        record = json.loads((root / "BENCH_render.json").read_text())
+        record["serving"] = json.loads((root / "BENCH_serving.json").read_text())["serving"]
         for section, keys in SMOKE_KEYS.items():
             assert section in HIGHER_IS_BETTER
             for key in keys:
                 assert key in record[section]["current"], f"{section}/{key}"
+
+    def test_checked_in_serving_record_meets_the_issue_floors(self):
+        serving = json.loads(
+            (Path(__file__).resolve().parents[1] / "BENCH_serving.json").read_text()
+        )["serving"]
+        assert serving["load"]["concurrent_configs"] >= 10_000
+        assert serving["current"]["speedup_vs_no_batching"] >= 5.0
+        assert serving["parity"]["bit_identical"] is True

@@ -1,0 +1,237 @@
+"""The serving core: canonical configs, LRU cache, handles, parity, term plans."""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.modeling.study import StudyConfiguration, StudyCorpus, StudyHarness
+from repro.reporting import ModelSuite, Predictor
+from repro.serving import LRUCache, ModelHandle, ServingCore, ServingError, canonical_config
+from repro.serving.core import RENDER_DEFAULTS
+
+
+@pytest.fixture(scope="module")
+def corpus() -> StudyCorpus:
+    config = StudyConfiguration(
+        architectures=("cpu-host", "gpu1-k40m"),
+        techniques=("raytrace", "volume"),
+        simulations=("kripke",),
+        task_counts=(1, 4),
+        samples_per_technique=8,
+        compositing_task_counts=(2, 4),
+        compositing_pixel_sizes=(32, 48, 64),
+        seed=7,
+    )
+    return StudyHarness(config).run()
+
+
+@pytest.fixture(scope="module")
+def models_path(corpus, tmp_path_factory):
+    suite = ModelSuite.fit_corpus(corpus)
+    return suite.save(tmp_path_factory.mktemp("serving") / "models.json")
+
+
+@pytest.fixture()
+def core(models_path) -> ServingCore:
+    return ServingCore.from_path(models_path)
+
+
+CONFIGS = [
+    {"architecture": "gpu1-k40m", "technique": "raytrace", "num_tasks": 4, "cells_per_task": 120},
+    {"architecture": "cpu-host", "technique": "volume", "num_tasks": 16, "image_width": 512,
+     "image_height": 512},
+    {"architecture": "gpu1-k40m", "technique": "volume", "num_tasks": 64},
+    {"architecture": "-", "technique": "compositing", "average_active_pixels": 640.0, "pixels": 4096},
+    {"architecture": "gpu1-k40m", "technique": "raytrace", "num_tasks": 4, "cells_per_task": 120,
+     "include_build": False},
+]
+
+
+class TestCanonicalConfig:
+    def test_defaults_fill_and_extras_are_ignored(self):
+        sparse = canonical_config({"architecture": "a", "technique": "raytrace", "note": "hi"})
+        explicit = canonical_config({"architecture": "a", "technique": "raytrace", **RENDER_DEFAULTS})
+        assert sparse == explicit
+        assert sparse[0] == "render"
+
+    def test_int_vs_float_spellings_canonicalize_identically(self):
+        a = canonical_config({"architecture": "a", "technique": "volume", "num_tasks": 8})
+        b = canonical_config({"architecture": "a", "technique": "volume", "num_tasks": 8.0})
+        assert a == b
+
+    def test_unknown_technique_is_rejected(self):
+        with pytest.raises(ServingError) as excinfo:
+            canonical_config({"architecture": "a", "technique": "splatting"})
+        assert excinfo.value.code == "invalid-configuration"
+        assert "splatting" in str(excinfo.value)
+
+    def test_missing_architecture_is_rejected(self):
+        with pytest.raises(ServingError):
+            canonical_config({"technique": "raytrace"})
+
+    def test_non_positive_counts_are_rejected(self):
+        with pytest.raises(ServingError):
+            canonical_config({"architecture": "a", "technique": "volume", "num_tasks": 0})
+
+    def test_compositing_requires_its_inputs(self):
+        with pytest.raises(ServingError) as excinfo:
+            canonical_config({"technique": "compositing"})
+        assert "average_active_pixels" in str(excinfo.value)
+
+    def test_non_object_configuration_is_rejected(self):
+        with pytest.raises(ServingError):
+            canonical_config(["architecture", "a"])
+
+
+class TestLRUCache:
+    def test_counts_hits_and_misses(self):
+        cache = LRUCache(4)
+        assert cache.get("k") is None
+        cache.put("k", (1.0,))
+        assert cache.get("k") == (1.0,)
+        assert cache.stats() == {"size": 1, "maxsize": 4, "hits": 1, "misses": 1, "evictions": 0}
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a" to MRU
+        cache.put("c", 3)  # evicts "b", the LRU entry
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_zero_maxsize_disables_caching(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+
+class TestServingCoreParity:
+    def test_rows_are_bit_identical_to_the_predictor(self, core, models_path):
+        rows, meta = core.predict_rows(CONFIGS, sigmas=2.0)
+        predictor = Predictor.load(models_path)
+        for config, row in zip(CONFIGS, rows):
+            canon = canonical_config(config)
+            if canon[0] == "compositing":
+                batch = predictor.predict_compositing(canon[1], canon[2], sigmas=2.0)
+            else:
+                batch = predictor.predict_configurations(
+                    canon[1], canon[2], num_tasks=canon[3], cells_per_task=canon[4],
+                    image_width=canon[5], image_height=canon[6], samples_in_depth=canon[7],
+                    include_build=canon[8], sigmas=2.0,
+                )
+            assert row["seconds"] == float(batch.seconds[0])
+            assert row["lower"] == float(batch.lower[0])
+            assert row["upper"] == float(batch.upper[0])
+            assert row["residual_std"] == float(batch.residual_std)
+        assert meta["models_digest"] == core.handle.digest
+
+    def test_results_ignore_batch_composition_and_order(self, core):
+        together = core.predict_canonical([canonical_config(c) for c in CONFIGS])
+        alone = [core.predict_canonical([canonical_config(c)])[0] for c in CONFIGS]
+        assert together == alone
+        reversed_batch = core.predict_canonical([canonical_config(c) for c in reversed(CONFIGS)])
+        assert list(reversed(reversed_batch)) == together
+
+    def test_rows_echo_the_input_configuration(self, core):
+        rows, _ = core.predict_rows([{**CONFIGS[0], "annotation": "keep-me"}])
+        assert rows[0]["annotation"] == "keep-me"
+        assert rows[0]["num_tasks"] == CONFIGS[0]["num_tasks"]
+
+    def test_unknown_model_raises_a_structured_error(self, core):
+        with pytest.raises(ServingError) as excinfo:
+            core.predict_rows([{"architecture": "nope", "technique": "raytrace"}])
+        error = excinfo.value
+        assert error.code == "unknown-model"
+        payload = error.payload()["error"]
+        assert payload["architecture"] == "nope"
+        assert ["gpu1-k40m", "raytrace"] in payload["available"]
+        assert payload["models_digest"] == core.handle.digest
+
+
+class TestServingCoreCache:
+    def test_repeat_queries_hit_the_cache_with_identical_results(self, core):
+        first = core.predict_canonical([canonical_config(c) for c in CONFIGS])
+        second = core.predict_canonical([canonical_config(c) for c in CONFIGS])
+        assert first == second
+        assert core.cache.hits == len(CONFIGS)
+
+    def test_sigmas_is_part_of_the_cache_key(self, core):
+        canon = [canonical_config(CONFIGS[0])]
+        core.predict_canonical(canon, sigmas=2.0)
+        core.predict_canonical(canon, sigmas=3.0)
+        assert core.cache.hits == 0 and core.cache.misses == 2
+
+    def test_swapping_the_handle_invalidates_by_construction(self, core, models_path):
+        canon = [canonical_config(CONFIGS[0])]
+        before = core.predict_canonical(canon)
+        swapped = ModelHandle.load(models_path, generation=1)
+        object.__setattr__(swapped, "digest", "different-digest")
+        core.swap(swapped)
+        after = core.predict_canonical(canon)
+        assert before == after  # same underlying suite, so same numbers ...
+        assert core.cache.hits == 0 and core.cache.misses == 2  # ... but no stale hit
+
+    def test_eviction_churn_never_serves_wrong_results(self, models_path):
+        core = ServingCore.from_path(models_path, cache_size=8)
+        expected = {}
+        for tasks in range(1, 33):
+            config = {"architecture": "gpu1-k40m", "technique": "volume", "num_tasks": tasks}
+            expected[tasks] = core.predict_canonical([canonical_config(config)])[0]
+        for tasks in (32, 1, 17, 8, 25, 2):  # mix of cached and long-evicted
+            config = {"architecture": "gpu1-k40m", "technique": "volume", "num_tasks": tasks}
+            assert core.predict_canonical([canonical_config(config)])[0] == expected[tasks]
+        assert len(core.cache) <= 8
+        assert core.cache.evictions >= 24
+
+
+class TestTermPlans:
+    def test_plans_are_cached_per_shape(self, models_path):
+        predictor = Predictor.load(models_path)
+        entry = predictor.suite.get("gpu1-k40m", "raytrace")
+        plan = predictor.term_plan(entry, include_build=True)
+        assert predictor.term_plan(entry, include_build=True) is plan
+        assert predictor.term_plan(entry, include_build=False) is not plan
+
+    def test_raytrace_plan_combines_variances_in_quadrature(self, models_path):
+        predictor = Predictor.load(models_path)
+        entry = predictor.suite.get("gpu1-k40m", "raytrace")
+        with_build = predictor.term_plan(entry, include_build=True)
+        frame_only = predictor.term_plan(entry, include_build=False)
+        model = entry.model
+        assert frame_only.residual_std == float(model.frame_fit.residual_std)
+        assert with_build.residual_std == pytest.approx(
+            float(np.sqrt(model.frame_fit.residual_std**2 + model.build_fit.residual_std**2))
+        )
+
+    def test_repeated_predictions_do_not_grow_per_call_state(self, models_path):
+        predictor = Predictor.load(models_path)
+
+        def query() -> None:
+            predictor.predict_configurations(
+                "gpu1-k40m", "raytrace", num_tasks=8, cells_per_task=100,
+                image_width=1024, image_height=1024,
+            )
+            predictor.predict_compositing(512.0, 4096)
+
+        for _ in range(5):  # warm every plan and lazy import
+            query()
+        plans = dict(predictor._plans)
+        gc.collect()
+        tracemalloc.start()
+        baseline, _ = tracemalloc.get_traced_memory()
+        for _ in range(50):
+            query()
+        gc.collect()
+        grown, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert predictor._plans == plans  # no new structure per call
+        # 50 calls may leave transient float artifacts, but nothing that scales
+        # per call: well under one retained result batch per query.
+        assert grown - baseline < 64_000
