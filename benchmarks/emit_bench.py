@@ -36,6 +36,7 @@ if str(_BENCH_DIR) not in sys.path:  # allow `python -m benchmarks.emit_bench`
 import numpy as np
 
 import bench_compositing_throughput as compositing_bench
+import bench_table05_backend_comparison as device_bench
 import bench_traversal_throughput as raytracer_bench
 import bench_volume_throughput as volume_bench
 
@@ -63,6 +64,8 @@ def main(argv: list[str] | None = None) -> int:
     raytracer_results = raytracer_bench.measure_all()
     print("measuring volume throughput ...")
     volume_results = volume_bench.measure_all()
+    print("measuring DPP device back-ends ...")
+    device_results = device_bench.measure_all_devices()
 
     record = {
         "benchmark": "render_throughput",
@@ -134,6 +137,24 @@ def main(argv: list[str] | None = None) -> int:
                 for key, value in compositing_results.items()
             },
         },
+        "device_comparison": {
+            "scenes": "stream-compaction + segmented_argmin idioms, 200k elements",
+            "units": "M elements/s",
+            "devices": sorted(device_results),
+            "current": {
+                f"{name}_{metric}": round(value, 4)
+                for name, metrics in device_results.items()
+                for metric, value in metrics.items()
+            },
+            "speedup_vs_serial": {
+                name: round(
+                    metrics["compaction_mops"]
+                    / device_results["serial"]["compaction_mops"],
+                    2,
+                )
+                for name, metrics in device_results.items()
+            },
+        },
     }
     output.write_text(json.dumps(record, indent=2) + "\n")
     for section in ("raytracer", "volume"):
@@ -146,6 +167,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {key:24s} {value:8.4f} s/composite")
     aggregate = record["compositing"]["aggregate_speedup_vs_reference_64"]
     print(f"  aggregate speedup vs composite_reference at 64 ranks: {aggregate}x")
+    print("[device_comparison]")
+    for key, value in record["device_comparison"]["current"].items():
+        print(f"  {key:36s} {value:10.4f} M elements/s")
     print(f"wrote {output}")
     return 0
 

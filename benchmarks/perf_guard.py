@@ -37,6 +37,10 @@ SMOKE_KEYS = {
     "volume": ("structured_96", "unstructured_96"),
     "compositing": ("direct-send_64", "binary-swap_64", "radix-k_64"),
     "serving": ("smoke_predictions_per_s", "smoke_p99_ms"),
+    # Only the vectorized device is guarded: serial throughput is a
+    # reference measurement, and optional back-ends (jax) are absent from
+    # most CI runners.
+    "device_comparison": ("vectorized_compaction_mops", "vectorized_segmented_argmin_mops"),
 }
 
 #: Regression direction: a bool for a whole section, or a per-key dict when a
@@ -46,6 +50,7 @@ HIGHER_IS_BETTER = {
     "volume": True,
     "compositing": False,
     "serving": {"smoke_predictions_per_s": True, "smoke_p99_ms": False},
+    "device_comparison": True,
 }
 
 
@@ -129,6 +134,12 @@ def measure_smoke() -> dict[str, dict[str, float]]:
             algorithm, int(tasks), 256
         )["seconds"]
     measured["serving"] = dict(serving_bench.measure_smoke_serving())
+    import bench_table05_backend_comparison as device_bench
+
+    vectorized = device_bench.measure_device("vectorized")
+    measured["device_comparison"] = {
+        f"vectorized_{metric}": value for metric, value in vectorized.items()
+    }
     return measured
 
 

@@ -16,7 +16,7 @@ from setuptools import find_namespace_packages, setup
 
 setup(
     name="repro-insitu-rendering-study",
-    version="0.4.0",
+    version="0.5.0",
     description=(
         "Reproduction of the Larsen et al. in situ rendering performance "
         "study: data-parallel renderers, sort-last compositing, and the "
@@ -30,6 +30,9 @@ setup(
         # scipy provides the non-negative least squares solver the paper-style
         # model fits use; tests exercise it, the core library degrades without it.
         "models": ["scipy"],
+        # The optional accelerator back-end (CPU wheels are enough: the dpp
+        # "jax" device registers lazily and only needs jax importable).
+        "jax": ["jax"],
         "test": ["pytest", "hypothesis", "pytest-benchmark", "scipy"],
     },
 )

@@ -28,11 +28,14 @@ from repro.dpp.frontier import FrontierEngine, FrontierKernel, FrontierLanes
 from repro.dpp.device import (
     Device,
     DeviceRegistry,
+    DeviceUnavailableError,
     SerialDevice,
     VectorizedDevice,
+    device_available,
     get_device,
     list_devices,
     register_device,
+    register_lazy_device,
     use_device,
 )
 from repro.dpp.instrument import InstrumentationScope, OpCounters, get_instrumentation
@@ -51,6 +54,7 @@ from repro.dpp.primitives import (
 __all__ = [
     "Device",
     "DeviceRegistry",
+    "DeviceUnavailableError",
     "FrontierEngine",
     "FrontierKernel",
     "FrontierLanes",
@@ -59,6 +63,7 @@ __all__ = [
     "SOAArray",
     "SerialDevice",
     "VectorizedDevice",
+    "device_available",
     "exclusive_scan",
     "gather",
     "get_device",
@@ -68,6 +73,7 @@ __all__ = [
     "map_field",
     "reduce_field",
     "register_device",
+    "register_lazy_device",
     "reverse_index",
     "scatter",
     "segmented_argmin",

@@ -1,0 +1,15 @@
+"""Optional accelerator back-ends for the data-parallel primitive layer.
+
+Every module in this package implements the :class:`repro.dpp.device.Device`
+contract on top of an optional third-party runtime and is registered *lazily*
+(:func:`repro.dpp.device.register_lazy_device`): the device name only shows
+up in ``list_devices()`` when the runtime is importable, and nothing here is
+imported until the first ``get_device(<name>)`` call.  Machines without the
+optional dependency keep exactly the built-in ``vectorized`` and ``serial``
+CPU devices -- import of :mod:`repro.dpp` never touches this package.
+
+Shipped back-ends:
+
+* :mod:`repro.dpp.backends.jax_device` -- ``jax.jit``-compiled XLA kernels
+  (CPU, GPU, or TPU, whatever the installed jaxlib targets).
+"""

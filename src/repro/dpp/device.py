@@ -3,7 +3,7 @@
 EAVL and VTK-m compile a single algorithm description to multiple back-ends
 (serial, OpenMP/TBB, CUDA, ISPC).  The reproduction keeps the same structure:
 primitives in :mod:`repro.dpp.primitives` never execute work themselves; they
-delegate to the active :class:`Device`.  Two devices are provided:
+delegate to the active :class:`Device`.  Three devices ship in-tree:
 
 ``vectorized``
     Executes every primitive with numpy array operations.  This is the
@@ -17,27 +17,67 @@ delegate to the active :class:`Device`.  Two devices are provided:
     poorly-matched back-end (OpenMP on Xeon Phi) is contrasted with a
     well-matched one (ISPC).
 
-Devices are selected globally through :func:`use_device`, which is also a
-context manager, mirroring VTK-m's runtime device tracker.
+``jax``
+    An accelerator back-end built on ``jax.jit``-compiled XLA kernels
+    (:mod:`repro.dpp.backends.jax_device`).  It is registered *lazily*: the
+    name only appears in :func:`list_devices` when the optional ``jax``
+    package is importable (``pip install -e ".[jax]"``), and the adapter is
+    constructed on first :func:`get_device` call.  Machines without JAX see
+    exactly the two CPU devices and never pay an import attempt beyond a
+    ``find_spec`` probe.
+
+Devices are selected through :func:`use_device`, which is a context manager
+mirroring VTK-m's runtime device tracker.  The active device is tracked in a
+:class:`contextvars.ContextVar`, so activation is task- and thread-local:
+concurrent ``use_device`` blocks on an asyncio event loop or across executor
+threads each see their own device and restore their own previous device on
+exit, instead of racing on one process-global slot.
 """
 
 from __future__ import annotations
 
 import contextlib
+import contextvars
+import importlib.util
+from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 import numpy as np
 
 __all__ = [
     "Device",
+    "DeviceUnavailableError",
     "SerialDevice",
     "VectorizedDevice",
     "DeviceRegistry",
     "register_device",
+    "register_lazy_device",
     "get_device",
     "use_device",
     "list_devices",
+    "device_available",
 ]
+
+#: Reduction operators every device must support.
+REDUCE_OPERATORS = ("add", "min", "max")
+
+
+class DeviceUnavailableError(KeyError):
+    """A registered device cannot be used on this machine.
+
+    Raised by :meth:`DeviceRegistry.get` when a lazily registered back-end's
+    capability probe fails (e.g. the ``jax`` package is not installed) or its
+    loader raises.  Subclasses :class:`KeyError` so callers treating "no such
+    device" and "device unusable here" alike keep working.
+    """
+
+    def __init__(self, name: str, reason: str) -> None:
+        super().__init__(name)
+        self.device_name = name
+        self.reason = reason
+
+    def __str__(self) -> str:
+        return f"device {self.device_name!r} is unavailable: {self.reason}"
 
 
 class Device:
@@ -47,6 +87,14 @@ class Device:
     outputs are numpy arrays; functors are plain Python callables that accept
     and return arrays (vectorized device) or scalars (serial device is free to
     call them element-wise when ``elementwise`` is requested).
+
+    :meth:`reduce` is a template method: the operator/empty-input contract
+    (unknown operators raise ``ValueError``; an empty ``add`` reduction
+    returns the zero identity; empty ``min``/``max`` raise ``ValueError``) is
+    enforced here once, so every device -- including direct ``Device.reduce``
+    callers that bypass :func:`repro.dpp.primitives.reduce_field` -- behaves
+    identically.  Devices implement :meth:`_reduce_impl` for the non-empty
+    case only.
     """
 
     #: Unique registry name.
@@ -65,9 +113,34 @@ class Device:
         raise NotImplementedError
 
     def reduce(self, values: np.ndarray, operator: str) -> np.generic:
+        """Validated reduction entry point (shared across all devices)."""
+        values = np.asarray(values)
+        if operator not in REDUCE_OPERATORS:
+            raise ValueError(f"unknown reduction operator: {operator!r}")
+        if len(values) == 0:
+            if operator == "add":
+                if values.ndim > 1:
+                    return np.zeros(values.shape[1:], dtype=values.dtype)
+                return values.dtype.type(0)
+            raise ValueError(f"cannot {operator}-reduce an empty array")
+        return self._reduce_impl(values, operator)
+
+    def _reduce_impl(self, values: np.ndarray, operator: str) -> np.generic:
+        """Reduce a validated, non-empty array (device-specific)."""
         raise NotImplementedError
 
     def scan(self, values: np.ndarray, inclusive: bool) -> np.ndarray:
+        raise NotImplementedError
+
+    def reverse_index(self, scan_result: np.ndarray, flags: np.ndarray) -> np.ndarray:
+        """Original indices of the flagged elements, ordered by scan offset.
+
+        ``scan_result`` is the exclusive prefix sum of ``flags``; survivor
+        ``i`` lands at output position ``scan_result[i]``.  This is the
+        ``reverseIndex`` step of the paper's stream-compaction idiom
+        (Algorithm 1, line 21 and Algorithm 2, line 20) -- a scatter of the
+        survivors' positions through their scan offsets.
+        """
         raise NotImplementedError
 
     def segmented_argmin(
@@ -101,14 +174,12 @@ class VectorizedDevice(Device):
         output[indices] = values
         return output
 
-    def reduce(self, values: np.ndarray, operator: str) -> np.generic:
+    def _reduce_impl(self, values: np.ndarray, operator: str) -> np.generic:
         if operator == "add":
             return values.sum(axis=0)
         if operator == "min":
             return values.min(axis=0)
-        if operator == "max":
-            return values.max(axis=0)
-        raise ValueError(f"unknown reduction operator: {operator!r}")
+        return values.max(axis=0)
 
     def scan(self, values: np.ndarray, inclusive: bool) -> np.ndarray:
         result = np.cumsum(values, axis=0)
@@ -118,6 +189,12 @@ class VectorizedDevice(Device):
         exclusive[0] = 0
         exclusive[1:] = result[:-1]
         return exclusive
+
+    def reverse_index(self, scan_result: np.ndarray, flags: np.ndarray) -> np.ndarray:
+        count = int(scan_result[-1]) + int(flags[-1]) if len(flags) else 0
+        out = np.empty(count, dtype=np.int64)
+        out[scan_result[flags]] = np.flatnonzero(flags)
+        return out
 
     def segmented_argmin(
         self, values: np.ndarray, starts: np.ndarray, tiebreak: np.ndarray
@@ -168,19 +245,15 @@ class SerialDevice(Device):
             output[index] = values[position]
         return output
 
-    def reduce(self, values: np.ndarray, operator: str) -> np.generic:
-        if len(values) == 0:
-            return VectorizedDevice().reduce(values, operator)
+    def _reduce_impl(self, values: np.ndarray, operator: str) -> np.generic:
         accumulator = values[0]
         for value in values[1:]:
             if operator == "add":
                 accumulator = accumulator + value
             elif operator == "min":
                 accumulator = np.minimum(accumulator, value)
-            elif operator == "max":
-                accumulator = np.maximum(accumulator, value)
             else:
-                raise ValueError(f"unknown reduction operator: {operator!r}")
+                accumulator = np.maximum(accumulator, value)
         return accumulator
 
     def scan(self, values: np.ndarray, inclusive: bool) -> np.ndarray:
@@ -193,6 +266,16 @@ class SerialDevice(Device):
             else:
                 out[position] = running
                 running = running + value
+        return out
+
+    def reverse_index(self, scan_result: np.ndarray, flags: np.ndarray) -> np.ndarray:
+        count = 0
+        for flag in flags:
+            count += int(bool(flag))
+        out = np.empty(count, dtype=np.int64)
+        for position, flag in enumerate(flags):
+            if flag:
+                out[int(scan_result[position])] = position
         return out
 
     def segmented_argmin(
@@ -210,60 +293,166 @@ class SerialDevice(Device):
         return out
 
 
+@dataclass
+class _LazyDevice:
+    """A device registered by name only, constructed on first use.
+
+    ``probe`` answers "could :func:`loader` succeed on this machine?" cheaply
+    (no heavyweight imports) by returning ``None`` when available or a
+    human-readable reason string when not.  ``loader`` performs the real
+    import and returns the constructed :class:`Device`.
+    """
+
+    name: str
+    loader: Callable[[], Device]
+    probe: Callable[[], str | None] = field(default=lambda: None)
+
+    def unavailable_reason(self) -> str | None:
+        return self.probe()
+
+
 class DeviceRegistry:
-    """Registry of available devices with one globally active device."""
+    """Registry of available devices with a context-local active device.
+
+    The active device is held in a :class:`contextvars.ContextVar`, not an
+    instance attribute: each asyncio task and each thread resolves (and
+    restores) its own activation, so interleaved :meth:`activate` blocks --
+    the serving tier's event loop, the sweep executor's workers -- can never
+    restore one another's device.  A context that never activated anything
+    falls back to the registry default (the first eagerly registered device).
+    """
 
     def __init__(self) -> None:
         self._devices: dict[str, Device] = {}
-        self._active: str | None = None
+        self._lazy: dict[str, _LazyDevice] = {}
+        self._default: str | None = None
+        self._active: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+            "repro_dpp_active_device", default=None
+        )
 
     def register(self, device: Device) -> None:
-        """Add ``device``; the first registration becomes the active device."""
+        """Add ``device``; the first registration becomes the default device."""
         self._devices[device.name] = device
-        if self._active is None:
-            self._active = device.name
+        self._lazy.pop(device.name, None)
+        if self._default is None:
+            self._default = device.name
+
+    def register_lazy(
+        self,
+        name: str,
+        loader: Callable[[], Device],
+        probe: Callable[[], str | None] | None = None,
+    ) -> None:
+        """Register a device by name without constructing (or importing) it.
+
+        ``loader`` is called on first :meth:`get`; ``probe`` (optional) is a
+        cheap capability check returning ``None`` when the back-end should
+        work here and a reason string otherwise.  Unavailable lazy devices are
+        hidden from :meth:`names`, so test parametrizations and device sweeps
+        over ``list_devices()`` adapt to the machine automatically.
+        """
+        if name not in self._devices:
+            self._lazy[name] = _LazyDevice(name, loader, probe or (lambda: None))
+
+    def available(self, name: str) -> bool:
+        """Whether :meth:`get` would return a device for ``name`` here."""
+        if name in self._devices:
+            return True
+        entry = self._lazy.get(name)
+        return entry is not None and entry.unavailable_reason() is None
 
     def get(self, name: str | None = None) -> Device:
         """Return the named device, or the active device when ``name`` is None."""
         if name is None:
-            if self._active is None:
+            name = self._active.get() or self._default
+            if name is None:
                 raise RuntimeError("no device registered")
-            name = self._active
+        device = self._devices.get(name)
+        if device is not None:
+            return device
+        if name in self._lazy:
+            return self._materialize(self._lazy[name])
+        raise KeyError(
+            f"unknown device {name!r}; registered: {self.names()}"
+        )
+
+    def _materialize(self, entry: _LazyDevice) -> Device:
+        reason = entry.unavailable_reason()
+        if reason is not None:
+            raise DeviceUnavailableError(entry.name, reason)
         try:
-            return self._devices[name]
-        except KeyError:
-            raise KeyError(
-                f"unknown device {name!r}; registered: {sorted(self._devices)}"
-            ) from None
+            device = entry.loader()
+        except Exception as error:  # e.g. a broken optional install
+            raise DeviceUnavailableError(
+                entry.name, f"back-end failed to load: {error!r}"
+            ) from error
+        if device.name != entry.name:
+            raise RuntimeError(
+                f"lazy device {entry.name!r} loaded an adapter named {device.name!r}"
+            )
+        self.register(device)
+        return device
 
     def names(self) -> list[str]:
-        return sorted(self._devices)
+        """Names of every device usable on this machine (lazy ones probed)."""
+        usable = set(self._devices)
+        for name, entry in self._lazy.items():
+            if entry.unavailable_reason() is None:
+                usable.add(name)
+        return sorted(usable)
 
     @property
     def active(self) -> str | None:
-        return self._active
+        """The calling context's active device name (default when unset)."""
+        return self._active.get() or self._default
 
     @contextlib.contextmanager
     def activate(self, name: str) -> Iterator[Device]:
-        """Temporarily make ``name`` the active device."""
+        """Temporarily make ``name`` the active device in this context."""
         device = self.get(name)
-        previous = self._active
-        self._active = name
+        token = self._active.set(device.name)
         try:
             yield device
         finally:
-            self._active = previous
+            self._active.reset(token)
+
+
+# ---------------------------------------------------------------------------
+# Built-in back-ends
+# ---------------------------------------------------------------------------
+
+def _jax_probe() -> str | None:
+    """Capability probe for the optional JAX back-end (no jax import)."""
+    if importlib.util.find_spec("jax") is None:
+        return "the 'jax' package is not installed (pip install -e \".[jax]\")"
+    return None
+
+
+def _load_jax_device() -> Device:
+    from repro.dpp.backends.jax_device import JaxDevice
+
+    return JaxDevice()
 
 
 #: Process-global registry used by the primitive front-ends.
 _REGISTRY = DeviceRegistry()
 _REGISTRY.register(VectorizedDevice())
 _REGISTRY.register(SerialDevice())
+_REGISTRY.register_lazy("jax", _load_jax_device, _jax_probe)
 
 
 def register_device(device: Device) -> None:
     """Register a custom device adapter in the global registry."""
     _REGISTRY.register(device)
+
+
+def register_lazy_device(
+    name: str,
+    loader: Callable[[], Device],
+    probe: Callable[[], str | None] | None = None,
+) -> None:
+    """Register a capability-gated device adapter in the global registry."""
+    _REGISTRY.register_lazy(name, loader, probe)
 
 
 def get_device(name: str | None = None) -> Device:
@@ -272,10 +461,19 @@ def get_device(name: str | None = None) -> Device:
 
 
 def use_device(name: str):
-    """Context manager selecting the active device for the enclosed block."""
+    """Context manager selecting the active device for the enclosed block.
+
+    Activation is context-local (task- and thread-local): concurrent blocks
+    do not observe or clobber each other's device.
+    """
     return _REGISTRY.activate(name)
 
 
 def list_devices() -> list[str]:
-    """Names of all registered devices."""
+    """Names of all devices usable on this machine."""
     return _REGISTRY.names()
+
+
+def device_available(name: str) -> bool:
+    """Whether ``get_device(name)`` would succeed on this machine."""
+    return _REGISTRY.available(name)

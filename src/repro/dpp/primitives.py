@@ -136,13 +136,11 @@ def reduce_field(values: np.ndarray, operator: str = "add", device: str | None =
     """Combine all values into one using ``add``, ``min``, or ``max``.
 
     An empty ``add`` reduction returns 0; empty ``min``/``max`` reductions
-    raise ``ValueError`` as there is no identity element.
+    raise ``ValueError`` as there is no identity element.  Both rules (and
+    operator validation) live in :meth:`repro.dpp.device.Device.reduce`, so
+    direct device callers get the identical contract.
     """
     values = np.asarray(values)
-    if len(values) == 0:
-        if operator == "add":
-            return np.zeros(values.shape[1:], dtype=values.dtype) if values.ndim > 1 else values.dtype.type(0)
-        raise ValueError(f"cannot {operator}-reduce an empty array")
     start = time.perf_counter()
     result = get_device(device).reduce(values, operator)
     elapsed = time.perf_counter() - start
@@ -170,19 +168,30 @@ def exclusive_scan(values: np.ndarray, device: str | None = None) -> np.ndarray:
     return result
 
 
-def reverse_index(scan_result: np.ndarray, flags: np.ndarray) -> np.ndarray:
+def reverse_index(
+    scan_result: np.ndarray, flags: np.ndarray, device: str | None = None
+) -> np.ndarray:
     """Invert an exclusive scan of boolean flags into gather indices.
 
     Given ``flags`` marking surviving elements and ``scan_result`` their
     exclusive prefix sum, return the array of original indices of the
-    survivors, in order.  This is the ``reverseIndex`` step of the paper's
-    stream-compaction idiom (Algorithm 1, line 21 and Algorithm 2, line 20).
+    survivors, in order: survivor ``i`` is scattered to output position
+    ``scan_result[i]``.  This is the ``reverseIndex`` step of the paper's
+    stream-compaction idiom (Algorithm 1, line 21 and Algorithm 2, line 20);
+    like every other primitive it dispatches to the active
+    :class:`~repro.dpp.device.Device` and records its traffic.
     """
     flags = np.asarray(flags, dtype=bool)
     scan_result = np.asarray(scan_result)
+    if flags.ndim != 1 or scan_result.ndim != 1:
+        raise ValueError("reverse_index flags and scan_result must be one-dimensional")
     if len(flags) != len(scan_result):
         raise ValueError("flags and scan_result must have equal length")
-    return np.flatnonzero(flags).astype(np.int64)
+    start = time.perf_counter()
+    result = get_device(device).reverse_index(scan_result, flags)
+    elapsed = time.perf_counter() - start
+    _record("reverse_index", len(flags), (scan_result, flags, result), elapsed)
+    return result
 
 
 def segmented_argmin(
@@ -257,6 +266,6 @@ def stream_compact(flags: np.ndarray, *arrays: np.ndarray, device: str | None = 
     flag_ints = flags.astype(np.int64)
     count = int(reduce_field(flag_ints, "add", device=device))
     scanned = exclusive_scan(flag_ints, device=device)
-    indices = reverse_index(scanned, flags)
+    indices = reverse_index(scanned, flags, device=device)
     compacted = tuple(gather(array, indices, device=device) for array in arrays)
     return count, compacted

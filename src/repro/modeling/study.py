@@ -124,6 +124,11 @@ class StudyConfiguration:
     """
 
     architectures: tuple[str, ...] = (HOST_ARCHITECTURE, "gpu1-k40m")
+    #: DPP back-ends (``repro.dpp`` device names) the host renders run on.
+    #: Each ``cpu-host`` configuration is rendered once per listed device --
+    #: the real back-end swap of the paper's Table 5.  Synthesized
+    #: architectures never render, so the axis does not apply to them.
+    dpp_devices: tuple[str, ...] = ("vectorized",)
     techniques: tuple[str, ...] = ("raytrace", "raster", "volume")
     simulations: tuple[str, ...] = ("kripke", "cloverleaf", "lulesh")
     task_counts: tuple[int, ...] = (1, 2, 4, 8)
@@ -186,6 +191,9 @@ class ExperimentRecord:
     #: rows from pre-recording corpora.  The Table 16 mapping validation uses
     #: it so the a-priori SPR term matches the experiment being validated.
     samples_in_depth: int = 0
+    #: DPP back-end the host render executed on ("" on synthesized rows and
+    #: rows from pre-device-matrix corpora).
+    dpp_device: str = ""
 
     @property
     def total_seconds(self) -> float:
@@ -257,13 +265,25 @@ class StudyCorpus:
     failures: list[FailureRecord] = field(default_factory=list)
 
     # -- selection ------------------------------------------------------------------
-    def select(self, architecture: str | None = None, technique: str | None = None) -> list[ExperimentRecord]:
-        """Records matching the given architecture and/or technique."""
+    def select(
+        self,
+        architecture: str | None = None,
+        technique: str | None = None,
+        dpp_device: str | None = None,
+    ) -> list[ExperimentRecord]:
+        """Records matching the given architecture, technique, and/or device.
+
+        ``dpp_device`` filters multi-back-end sweeps (device-comparison runs)
+        down to one back-end so its timings are never folded into another
+        back-end's fitted model.
+        """
         out = self.records
         if architecture is not None:
             out = [r for r in out if r.architecture == architecture]
         if technique is not None:
             out = [r for r in out if r.technique == technique]
+        if dpp_device is not None:
+            out = [r for r in out if r.dpp_device == dpp_device]
         return out
 
     def architectures(self) -> list[str]:
@@ -419,10 +439,20 @@ class StudyHarness:
         rng = default_rng(self.config.seed, "study")
         for technique in self.config.techniques:
             if HOST_ARCHITECTURE in self.config.architectures:
-                for image_size, cells, tasks, simulation in self.config.stratified_samples(rng):
-                    corpus.records.append(
-                        self.run_experiment(technique, simulation, tasks, cells, image_size, image_size)
-                    )
+                samples = self.config.stratified_samples(rng)
+                for dpp_device in self.config.dpp_devices:
+                    for image_size, cells, tasks, simulation in samples:
+                        corpus.records.append(
+                            self.run_experiment(
+                                technique,
+                                simulation,
+                                tasks,
+                                cells,
+                                image_size,
+                                image_size,
+                                dpp_device=dpp_device,
+                            )
+                        )
         synthetic_rng = default_rng(self.config.seed, "study-synthetic")
         for architecture in self.config.architectures:
             if architecture == HOST_ARCHITECTURE:
@@ -448,8 +478,17 @@ class StudyHarness:
         cells_per_task: int,
         image_width: int,
         image_height: int,
+        dpp_device: str | None = None,
     ) -> ExperimentRecord:
-        """Render one host configuration; returns the slowest sampled rank's record."""
+        """Render one host configuration; returns the slowest sampled rank's record.
+
+        ``dpp_device`` selects the DPP back-end the render's primitives run
+        on (``None`` keeps the caller's active device).  An unknown or
+        unavailable device raises before any rendering happens, which the
+        sweep executor records as an ordinary failure row.
+        """
+        from repro.dpp import get_device, use_device
+
         if simulation not in _SIMULATION_FIELDS:
             raise KeyError(f"unknown simulation {simulation!r}")
         decomposition = BlockDecomposition(num_tasks, cells_per_task)
@@ -457,9 +496,12 @@ class StudyHarness:
         sampled_ranks = self._sampled_ranks(num_tasks)
 
         results: list[RenderResult] = []
-        for rank in sampled_ranks:
-            grid = decomposition.block_grid_with_field(rank, "scalar", _SIMULATION_FIELDS[simulation])
-            results.append(self._render_block(technique, grid, camera))
+        with use_device(dpp_device or get_device().name) as device:
+            for rank in sampled_ranks:
+                grid = decomposition.block_grid_with_field(
+                    rank, "scalar", _SIMULATION_FIELDS[simulation]
+                )
+                results.append(self._render_block(technique, grid, camera))
 
         # Slowest-task proxy, chosen deterministically: the rank with the
         # largest observed workload (active pixels, then object count, then
@@ -488,6 +530,7 @@ class StudyHarness:
             build_seconds=build,
             frame_seconds=frame,
             samples_in_depth=self.config.samples_in_depth,
+            dpp_device=device.name,
         )
 
     def run_synthetic_experiment(

@@ -81,6 +81,11 @@ def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma list from raytrace,raster,volume,volume_unstructured",
     )
     matrix.add_argument("--architectures", type=_comma_tuple, help="comma list, e.g. cpu-host,gpu1-k40m")
+    matrix.add_argument(
+        "--dpp-devices",
+        type=_comma_tuple,
+        help="comma list of DPP back-ends host renders run on, e.g. vectorized,jax",
+    )
     matrix.add_argument("--task-counts", type=_comma_ints, help="comma list of MPI task counts")
     matrix.add_argument(
         "--compositing-algorithms",
@@ -101,6 +106,8 @@ def _configuration_from(args: argparse.Namespace) -> StudyConfiguration:
         overrides["techniques"] = args.techniques
     if args.architectures:
         overrides["architectures"] = args.architectures
+    if args.dpp_devices:
+        overrides["dpp_devices"] = args.dpp_devices
     if args.task_counts:
         overrides["task_counts"] = args.task_counts
     if args.compositing_algorithms:

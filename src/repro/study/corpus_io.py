@@ -65,6 +65,7 @@ def experiment_record_to_payload(record: ExperimentRecord) -> dict:
         "build_seconds": record.build_seconds,
         "frame_seconds": record.frame_seconds,
         "samples_in_depth": record.samples_in_depth,
+        "dpp_device": record.dpp_device,
     }
 
 
@@ -90,6 +91,7 @@ def experiment_record_from_payload(payload: dict) -> ExperimentRecord:
         build_seconds=float(payload["build_seconds"]),
         frame_seconds=float(payload["frame_seconds"]),
         samples_in_depth=int(payload.get("samples_in_depth", 0)),
+        dpp_device=payload.get("dpp_device", ""),
     )
 
 

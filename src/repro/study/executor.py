@@ -357,6 +357,7 @@ def execute_spec(spec: ExperimentSpec) -> dict:
             spec.cells_per_task,
             spec.image_width,
             spec.image_height,
+            dpp_device=spec.dpp_device or None,
         )
         return corpus_io.experiment_record_to_payload(record)
     if spec.kind == KIND_SYNTHETIC:

@@ -71,6 +71,10 @@ class ExperimentSpec:
     max_sampled_ranks: int = 0
     algorithm: str = ""
     pixel_size: int = 0
+    #: DPP back-end for host renders ("" = the worker's default device);
+    #: part of the cache key, so the same configuration rendered on two
+    #: back-ends occupies two cache entries.
+    dpp_device: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -90,9 +94,11 @@ class ExperimentSpec:
         """Short human-readable identity used in logs and failure rows."""
         if self.kind == KIND_COMPOSITING:
             return f"compositing/{self.algorithm}/t{self.num_tasks}/{self.pixel_size}px"
+        device_suffix = f"@{self.dpp_device}" if self.dpp_device else ""
         return (
             f"{self.kind}/{self.architecture}/{self.technique}/{self.simulation}"
             f"/t{self.num_tasks}/c{self.cells_per_task}/{self.image_width}x{self.image_height}"
+            f"{device_suffix}"
         )
 
 
@@ -148,20 +154,27 @@ def build_plan(config: StudyConfiguration, include_compositing: bool = True) -> 
     rng = default_rng(config.seed, "study")
     for technique in config.techniques:
         if HOST_ARCHITECTURE in config.architectures:
-            for image_size, cells, tasks, simulation in config.stratified_samples(rng):
-                specs.append(
-                    ExperimentSpec(
-                        kind=KIND_RENDER,
-                        architecture=HOST_ARCHITECTURE,
-                        technique=technique,
-                        simulation=simulation,
-                        num_tasks=tasks,
-                        cells_per_task=cells,
-                        image_width=image_size,
-                        image_height=image_size,
-                        **common,
+            # One stratified draw per technique, shared by every DPP back-end:
+            # the device axis compares back-ends on *identical* configurations
+            # and leaves the RNG stream exactly where the single-device
+            # enumeration (and the serial oracle) leaves it.
+            samples = config.stratified_samples(rng)
+            for dpp_device in config.dpp_devices:
+                for image_size, cells, tasks, simulation in samples:
+                    specs.append(
+                        ExperimentSpec(
+                            kind=KIND_RENDER,
+                            architecture=HOST_ARCHITECTURE,
+                            technique=technique,
+                            simulation=simulation,
+                            num_tasks=tasks,
+                            cells_per_task=cells,
+                            image_width=image_size,
+                            image_height=image_size,
+                            dpp_device=dpp_device,
+                            **common,
+                        )
                     )
-                )
 
     synthetic_rng = default_rng(config.seed, "study-synthetic")
     for architecture in config.architectures:

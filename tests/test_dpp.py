@@ -2,13 +2,19 @@
 
 from __future__ import annotations
 
+import asyncio
+import contextvars
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.dpp import (
+    DeviceUnavailableError,
     SOAArray,
+    device_available,
     exclusive_scan,
     gather,
     get_device,
@@ -23,6 +29,7 @@ from repro.dpp import (
     stream_compact,
     use_device,
 )
+from repro.dpp.device import DeviceRegistry, SerialDevice, VectorizedDevice
 from repro.dpp.instrument import reset_instrumentation
 
 
@@ -68,6 +75,195 @@ class TestDevices:
         vec.scatter(values, unique, out_a)
         ser.scatter(values, unique, out_b)
         assert np.allclose(out_a, out_b)
+
+
+class TestContextLocalActivation:
+    """Regression tests for device activation being context-local.
+
+    The registry used to keep the active device in a process-global slot, so
+    two interleaved ``use_device`` blocks (the serving tier's asyncio tasks,
+    threaded sweep workers) would clobber and mis-restore each other.
+    """
+
+    def test_copied_context_does_not_leak_activation(self):
+        # Entering use_device inside a copied context must not change the
+        # device observed by the outer (un-copied) context.
+        inner_holds = {}
+
+        def _inside():
+            manager = use_device("serial")
+            manager.__enter__()
+            inner_holds["name"] = get_device().name
+
+        contextvars.copy_context().run(_inside)
+        assert inner_holds["name"] == "serial"
+        assert get_device().name == "vectorized"
+
+    def test_asyncio_tasks_interleave_without_clobbering(self):
+        observed = {"a": [], "b": []}
+
+        async def worker(key, name, barrier):
+            with use_device(name):
+                await barrier.wait()  # both tasks now hold their activation
+                observed[key].append(get_device().name)
+                await asyncio.sleep(0)  # force another interleave point
+                observed[key].append(get_device().name)
+            observed[key].append(get_device().name)
+
+        async def main():
+            barrier = asyncio.Barrier(2)
+            await asyncio.gather(
+                worker("a", "serial", barrier), worker("b", "vectorized", barrier)
+            )
+
+        asyncio.run(main())
+        assert observed["a"] == ["serial", "serial", "vectorized"]
+        assert observed["b"] == ["vectorized", "vectorized", "vectorized"]
+
+    def test_threads_have_independent_activation(self):
+        start = threading.Barrier(2)
+        results = {}
+
+        def worker(name):
+            with use_device(name):
+                start.wait()  # both threads activated concurrently
+                results[name] = get_device().name
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in ("serial", "vectorized")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results == {"serial": "serial", "vectorized": "vectorized"}
+
+    def test_nested_activation_restores_in_order(self):
+        with use_device("serial"):
+            with use_device("vectorized"):
+                assert get_device().name == "vectorized"
+            assert get_device().name == "serial"
+        assert get_device().name == "vectorized"
+
+
+class _SpyDevice(VectorizedDevice):
+    """Vectorized device that counts reverse_index dispatches."""
+
+    name = "spy"
+
+    def __init__(self) -> None:
+        self.reverse_index_calls = 0
+
+    def reverse_index(self, scan_result, flags):
+        self.reverse_index_calls += 1
+        return super().reverse_index(scan_result, flags)
+
+
+class TestReverseIndexDispatch:
+    """Regression tests: reverse_index used to bypass the device seam.
+
+    The old implementation ignored ``scan_result``, recomputed the answer
+    with numpy regardless of the active device, and never recorded into the
+    instrumentation counters.
+    """
+
+    def test_dispatches_to_active_device(self):
+        from repro.dpp import register_device
+        from repro.dpp.device import _REGISTRY
+
+        spy = _SpyDevice()
+        register_device(spy)
+        try:
+            flags = np.array([True, False, True])
+            with use_device("spy"):
+                reverse_index(exclusive_scan(flags.astype(np.int64)), flags)
+                stream_compact(flags, np.arange(3.0))
+            assert spy.reverse_index_calls == 2
+        finally:
+            _REGISTRY._devices.pop("spy", None)  # keep list_devices() clean for later tests
+
+    def test_uses_the_scan_result_argument(self):
+        # A shifted scan must shift the output slots: proof the primitive
+        # consumes its input instead of recomputing flatnonzero(flags).
+        flags = np.array([True, True, False])
+        serial = get_device("serial")
+        shifted = serial.reverse_index(np.array([1, 0, 0]), flags)
+        assert shifted.tolist() == [1, 0]
+
+    def test_recorded_in_instrumentation(self):
+        instrumentation = get_instrumentation()
+        flags = np.array([True, False, True, True])
+        scanned = exclusive_scan(flags.astype(np.int64))
+        with instrumentation.scope("reverse-index-test"):
+            reverse_index(scanned, flags)
+        assert instrumentation.invocations("reverse-index-test") == 1
+        assert instrumentation.elements("reverse-index-test") == len(flags)
+        assert instrumentation.bytes_moved("reverse-index-test") > 0
+
+
+class TestLazyRegistry:
+    """Capability-gated (lazy) device registration, on a private registry."""
+
+    @staticmethod
+    def _fresh_registry():
+        registry = DeviceRegistry()
+        registry.register(VectorizedDevice())
+        registry.register(SerialDevice())
+        return registry
+
+    def test_unavailable_device_hidden_and_raises_with_reason(self):
+        registry = self._fresh_registry()
+        registry.register_lazy(
+            "phi", lambda: VectorizedDevice(), probe=lambda: "no Xeon Phi on this host"
+        )
+        assert registry.names() == ["serial", "vectorized"]
+        assert not registry.available("phi")
+        with pytest.raises(DeviceUnavailableError) as excinfo:
+            registry.get("phi")
+        assert excinfo.value.device_name == "phi"
+        assert "no Xeon Phi" in str(excinfo.value)
+        # DeviceUnavailableError must stay catchable as KeyError.
+        assert isinstance(excinfo.value, KeyError)
+
+    def test_loader_called_once_then_cached(self):
+        registry = self._fresh_registry()
+        calls = []
+
+        class _Fake(SerialDevice):
+            name = "fake"
+
+        def loader():
+            calls.append(1)
+            return _Fake()
+
+        registry.register_lazy("fake", loader)
+        assert "fake" in registry.names()
+        assert registry.available("fake")
+        first = registry.get("fake")
+        second = registry.get("fake")
+        assert first is second
+        assert len(calls) == 1
+
+    def test_loader_failure_reported_as_unavailable(self):
+        registry = self._fresh_registry()
+
+        def broken():
+            raise ImportError("half-installed back-end")
+
+        registry.register_lazy("broken", broken)
+        with pytest.raises(DeviceUnavailableError, match="failed to load"):
+            registry.get("broken")
+
+    def test_misnamed_loader_rejected(self):
+        registry = self._fresh_registry()
+        registry.register_lazy("misnamed", lambda: SerialDevice())
+        with pytest.raises(RuntimeError, match="named"):
+            registry.get("misnamed")
+
+    def test_global_jax_entry_consistent(self):
+        # Whatever this machine has, list_devices and device_available agree.
+        assert device_available("jax") == ("jax" in list_devices())
+        if not device_available("jax"):
+            with pytest.raises(DeviceUnavailableError, match="jax"):
+                get_device("jax")
 
 
 class TestPrimitives:
