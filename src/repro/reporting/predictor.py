@@ -158,6 +158,87 @@ class Predictor:
         arrays = {"average_active_pixels": active, "pixels": pixel_counts}
         return self._predict_entry(entry, arrays, include_build=False, sigmas=sigmas)
 
+    def interval_widths_for_specs(
+        self, spec_payloads: list[dict], sigmas: float = DEFAULT_INTERVAL_SIGMAS
+    ) -> np.ndarray:
+        """Prediction-interval widths (``upper - lower``) for sweep-spec payloads.
+
+        The adaptive planner's scoring seam: each payload is one
+        :meth:`~repro.study.plan.ExperimentSpec.key_payload` and the returned
+        array is aligned with the input.  Specs are grouped by model slice and
+        served with one vectorized call per group:
+
+        * ``render``/``synthetic`` specs go through the Section 5.8 mapping
+          (``include_build=True``, so ray-tracing widths quadrature-combine
+          the build and frame residuals);
+        * ``compositing`` specs use the mapping's a-priori active-pixel
+          estimate (camera fill fraction over the task count's cube root);
+        * a spec whose ``(architecture, technique)`` slice has no fitted model
+          scores ``inf`` -- an unfit slice is maximal uncertainty and must
+          outrank every fitted one.
+
+        Widths inherit the interval contract, including the clip of the lower
+        bound at zero: a configuration whose predicted seconds sit inside the
+        half-width has a genuinely narrower (one-sided) interval.
+        """
+        widths = np.empty(len(spec_payloads), dtype=np.float64)
+        groups: dict[tuple[str, str], list[int]] = {}
+        for index, payload in enumerate(spec_payloads):
+            if payload.get("kind") == "compositing":
+                key = ("", "compositing")
+            else:
+                key = (payload["architecture"], payload["technique"])
+            groups.setdefault(key, []).append(index)
+        for (architecture, technique), indices in groups.items():
+            try:
+                self.suite.get(architecture, technique)
+            except KeyError:
+                widths[indices] = np.inf
+                continue
+            rows = [spec_payloads[index] for index in indices]
+            if technique == "compositing":
+                pixels = np.array([float(row["pixel_size"]) ** 2 for row in rows], dtype=np.float64)
+                # A-priori avg(AP) estimate: the Section 5.8 camera fill
+                # fraction shrunk by the task count's cube root, matching
+                # map_configuration_to_features (scalar pow: see
+                # map_configuration_batch on why not array pow).
+                from repro.modeling.features import CAMERA_FILL_FRACTION
+
+                active = np.array(
+                    [
+                        CAMERA_FILL_FRACTION * float(row["pixel_size"]) ** 2
+                        / float(row["num_tasks"]) ** (1.0 / 3.0)
+                        for row in rows
+                    ],
+                    dtype=np.float64,
+                )
+                batch = self.predict_compositing(active, pixels, sigmas=sigmas)
+            else:
+                samples = np.array(
+                    [
+                        float(
+                            row["samples_in_depth"]
+                            if row.get("kind") == "render"
+                            else row["synthetic_samples_in_depth"]
+                        )
+                        for row in rows
+                    ],
+                    dtype=np.float64,
+                )
+                batch = self.predict_configurations(
+                    architecture,
+                    technique,
+                    np.array([float(row["num_tasks"]) for row in rows]),
+                    np.array([float(row["cells_per_task"]) for row in rows]),
+                    np.array([float(row["image_width"]) for row in rows]),
+                    np.array([float(row["image_height"]) for row in rows]),
+                    samples_in_depth=samples,
+                    include_build=True,
+                    sigmas=sigmas,
+                )
+            widths[indices] = batch.upper - batch.lower
+        return widths
+
     # -- internals ---------------------------------------------------------------------
     def term_plan(self, entry: FittedModel, include_build: bool) -> TermPlan:
         """The cached :class:`TermPlan` for one entry and build-inclusion choice.

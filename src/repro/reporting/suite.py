@@ -238,6 +238,37 @@ class ModelSuite:
             collected.extend(entry.warnings)
         return collected
 
+    def slice_errors(self) -> list[dict]:
+        """Per-slice cross-validated error rows, in :meth:`all_entries` order.
+
+        One JSON-safe row per fitted slice: row count, per-fit-group residual
+        standard deviations (the interval half-width's fuel), and the k-fold
+        accuracy aggregate when cross validation ran (``None`` plus the skip
+        reason otherwise).  The learning-curve trajectory
+        (:mod:`repro.study.trajectory`) appends exactly these rows, so the
+        error-vs-corpus-size curve is readable straight off ``BENCH_learning
+        .json`` without refitting anything.
+        """
+        rows: list[dict] = []
+        for entry in self.all_entries():
+            accuracy = entry.crossval_accuracy
+            rows.append(
+                {
+                    "architecture": entry.architecture,
+                    "technique": entry.technique,
+                    "num_rows": int(entry.num_rows),
+                    "residual_std": {
+                        name: float(fit.residual_std) for name, fit in entry.fit_groups().items()
+                    },
+                    "crossval_average_percent": (
+                        float(accuracy["average_percent"]) if accuracy else None
+                    ),
+                    "crossval_within_50": float(accuracy["within_50"]) if accuracy else None,
+                    "crossval_skipped": entry.crossval_skipped,
+                }
+            )
+        return rows
+
     def is_empty(self) -> bool:
         """True when *nothing* could be fitted (the all-degenerate case)."""
         return not self.entries and self.compositing is None

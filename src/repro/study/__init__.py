@@ -16,8 +16,13 @@ pipeline:
   unchanged configurations from ever re-rendering;
 * :mod:`repro.study.corpus_io` -- the row-level JSON schema shared by
   workers, the cache, and corpus files, plus corpus merging;
-* :mod:`repro.study.cli` -- ``python -m repro.study`` with ``plan`` / ``run
-  --jobs N --resume`` / ``merge`` / ``fit`` subcommands.
+* :mod:`repro.study.adaptive` -- uncertainty-driven sweep planning: fit the
+  models, score candidates by prediction-interval width, select the widest
+  batch deterministically (with :mod:`repro.study.trajectory` recording the
+  error-vs-corpus-size learning curve);
+* :mod:`repro.study.cli` -- ``python -m repro.study`` with ``plan
+  [--adaptive]`` / ``run [--adaptive] --jobs N --resume`` / ``merge`` /
+  ``fit`` subcommands.
 
 :class:`~repro.modeling.study.StudyHarness` is a thin client of this engine
 (and keeps its pre-engine serial loop as the differential oracle); the
@@ -25,6 +30,12 @@ benchmark suite's corpus fixtures run through :func:`run_study` so every
 table/figure benchmark rides the same pipeline CI exercises.
 """
 
+from repro.study.adaptive import (
+    AdaptiveRun,
+    AdaptiveSelection,
+    run_adaptive_rounds,
+    select_batch,
+)
 from repro.study.cache import CorpusCache, cache_key, code_token
 from repro.study.corpus_io import load_corpus, merge_corpora, save_corpus
 from repro.study.executor import (
@@ -39,11 +50,15 @@ from repro.study.plan import (
     ExperimentSpec,
     SweepPlan,
     build_plan,
+    corpus_spec_keys,
     full_configuration,
     smoke_configuration,
+    spec_corpus_key,
 )
 
 __all__ = [
+    "AdaptiveRun",
+    "AdaptiveSelection",
     "CorpusCache",
     "ExperimentSpec",
     "SpecFailure",
@@ -54,14 +69,18 @@ __all__ = [
     "build_plan",
     "cache_key",
     "code_token",
+    "corpus_spec_keys",
     "execute_spec",
     "full_configuration",
     "load_corpus",
     "merge_corpora",
+    "run_adaptive_rounds",
     "run_plan",
     "run_study",
     "save_corpus",
+    "select_batch",
     "smoke_configuration",
+    "spec_corpus_key",
 ]
 
 

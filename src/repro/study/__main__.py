@@ -1,4 +1,4 @@
-"""Entry point for ``python -m repro.study``."""
+"""Entry point for ``python -m repro.study`` (static and ``--adaptive`` sweeps)."""
 
 from repro.study.cli import main
 

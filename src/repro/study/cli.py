@@ -4,11 +4,18 @@ Subcommands
 -----------
 ``plan``
     Expand the matrix and print (or write) it without running anything.
+    ``--adaptive --corpus corpus.json`` switches to uncertainty-driven
+    selection: fit the models on the corpus, score the expanded candidates
+    by prediction-interval width, emit the widest ``--batch-size`` as a
+    deterministic batch (pure function of corpus digest + config + seed).
 ``run``
     Execute the sweep: ``--jobs N`` for the process pool, ``--cache-dir`` to
     persist rows, ``--resume`` to reuse them, ``--timeout`` per experiment,
     ``--out`` for the corpus JSON.  ``--require-cached`` exits non-zero if
     anything had to execute -- CI's "second run is 100% cache hits" gate.
+    ``--adaptive --corpus corpus.json`` runs ``--rounds`` fit -> select ->
+    render -> refit rounds instead of the static matrix and appends the
+    learning-curve rows to ``--learning-out`` (``BENCH_learning.json``).
 ``merge``
     Concatenate corpus files (e.g. per-architecture shards).
 ``fit``
@@ -30,7 +37,8 @@ Exit codes: 0 success; 2 argument/usage errors (argparse); 3 a ``run`` with
 failure rows; 5 a ``fit``/``report`` where *every* fit was degenerate (the
 structured failure report is printed as JSON); 6 a ``predict`` naming an
 unknown ``(architecture, technique)`` slice (the structured JSON error is
-printed to stdout).
+printed to stdout); 7 an adaptive ``plan``/``run`` whose candidate matrix
+deduplicated to nothing (the corpus already covers every candidate).
 """
 
 from __future__ import annotations
@@ -51,6 +59,9 @@ EXIT_ALL_FITS_DEGENERATE = 5
 
 #: Exit code of a predict naming an unknown (architecture, technique) slice.
 EXIT_UNKNOWN_MODEL = 6
+
+#: Exit code of an adaptive plan/run with no candidates left after dedup.
+EXIT_NO_CANDIDATES = 7
 
 __all__ = ["main", "build_parser"]
 
@@ -95,6 +106,22 @@ def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
     matrix.add_argument("--no-compositing", action="store_true", help="skip the Eq. 5.5 sweep")
 
 
+def _add_adaptive_arguments(parser: argparse.ArgumentParser) -> None:
+    adaptive = parser.add_argument_group("adaptive", "uncertainty-driven selection (requires --corpus)")
+    adaptive.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="select the widest-interval candidates instead of the static matrix",
+    )
+    adaptive.add_argument("--corpus", help="corpus JSON the models are fitted on")
+    adaptive.add_argument("--batch-size", type=int, default=8, help="experiments per adaptive batch")
+    adaptive.add_argument(
+        "--expand", type=int, default=4, help="candidate density multiplier over --samples"
+    )
+    adaptive.add_argument("--sigmas", type=float, default=2.0, help="interval half-width in residual stds")
+    adaptive.add_argument("--folds", type=int, default=3, help="cross-validation folds per refit")
+
+
 def _configuration_from(args: argparse.Namespace) -> StudyConfiguration:
     config = _PRESETS[args.preset](args.seed)
     overrides = {}
@@ -124,10 +151,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     plan_parser = commands.add_parser("plan", help="expand the matrix without running it")
     _add_matrix_arguments(plan_parser)
-    plan_parser.add_argument("--out", help="write the expanded plan as JSON")
+    _add_adaptive_arguments(plan_parser)
+    plan_parser.add_argument("--out", help="write the expanded plan (or adaptive batch) as JSON")
 
     run_parser = commands.add_parser("run", help="execute the sweep")
     _add_matrix_arguments(run_parser)
+    _add_adaptive_arguments(run_parser)
+    run_parser.add_argument("--rounds", type=int, default=2, help="adaptive fit->select->render rounds")
+    run_parser.add_argument(
+        "--learning-out", help="append adaptive learning-curve rows to this BENCH_learning.json"
+    )
     run_parser.add_argument("--jobs", type=int, default=1, help="worker processes (1 = in-process)")
     run_parser.add_argument("--timeout", type=float, help="per-experiment timeout in seconds")
     run_parser.add_argument("--cache-dir", help="content-addressed row cache directory")
@@ -181,7 +214,111 @@ def build_parser() -> argparse.ArgumentParser:
 
 # -- subcommands ----------------------------------------------------------------------
 
+def _load_adaptive_corpus(args):
+    """The corpus behind ``--adaptive``, or ``None`` + exit code on usage error."""
+    if not args.corpus:
+        print("error: --adaptive needs --corpus (the models must fit on something)", file=sys.stderr)
+        return None, 2
+    return load_corpus(args.corpus), 0
+
+
+def _print_selection(selection) -> None:
+    print(
+        f"adaptive: {len(selection.candidates)} candidates "
+        f"({selection.deduplicated} deduplicated against corpus, "
+        f"{selection.unknown_candidates()} on unfit slices), "
+        f"selected {len(selection.selected)}/{selection.batch_size}"
+    )
+    mean_width = selection.mean_interval_width()
+    if mean_width is not None:
+        print(f"adaptive: mean interval width {mean_width:.4f}s over fitted candidates")
+    for candidate in selection.selected:
+        width = "unfit-slice" if not candidate.known else f"{candidate.width:.4f}s"
+        print(f"  {width:>12s}  {candidate.spec.label()}")
+
+
+def _command_plan_adaptive(args) -> int:
+    from repro.study.adaptive import select_batch
+
+    corpus, code = _load_adaptive_corpus(args)
+    if corpus is None:
+        return code
+    selection = select_batch(
+        corpus,
+        _configuration_from(args),
+        batch_size=args.batch_size,
+        seed=args.seed,
+        expand=args.expand,
+        sigmas=args.sigmas,
+        folds=args.folds,
+        include_compositing=not args.no_compositing,
+    )
+    _print_selection(selection)
+    if args.out:
+        text = json.dumps(selection.to_payload(), indent=2, sort_keys=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    if not selection.candidates:
+        print("error: the corpus already covers every candidate", file=sys.stderr)
+        return EXIT_NO_CANDIDATES
+    return 0
+
+
+def _command_run_adaptive(args) -> int:
+    from repro.study.adaptive import run_adaptive_rounds
+    from repro.study.trajectory import append_trajectory_rows
+
+    corpus, code = _load_adaptive_corpus(args)
+    if corpus is None:
+        return code
+    cache = CorpusCache(args.cache_dir) if args.cache_dir else None
+    run = run_adaptive_rounds(
+        corpus,
+        _configuration_from(args),
+        rounds=args.rounds,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        expand=args.expand,
+        sigmas=args.sigmas,
+        folds=args.folds,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        cache=cache,
+        resume=args.resume,
+        include_compositing=not args.no_compositing,
+    )
+    for index, round_ in enumerate(run.rounds):
+        _print_selection(round_.selection)
+        if round_.report is not None:
+            print(
+                f"round {index}: executed={round_.report.executed} "
+                f"cache_hits={round_.report.cache_hits} failed={round_.report.failed}"
+            )
+    save_corpus(
+        run.corpus,
+        args.out,
+        metadata={"preset": args.preset, "adaptive_rounds": len(run.rounds)},
+    )
+    print(
+        f"corpus: {len(run.corpus.records)} rendering rows, "
+        f"{len(run.corpus.compositing_records)} compositing rows, "
+        f"{len(run.corpus.failures)} failures -> {args.out}"
+    )
+    if args.learning_out:
+        payload = append_trajectory_rows(args.learning_out, run.trajectory_rows())
+        print(f"learning curve: {len(payload['rows'])} rows -> {args.learning_out}")
+    if not run.rounds or not run.rounds[0].selection.selected:
+        print("error: the corpus already covers every candidate", file=sys.stderr)
+        return EXIT_NO_CANDIDATES
+    if run.failures:
+        return 4
+    return 0
+
+
 def _command_plan(args) -> int:
+    if args.adaptive:
+        return _command_plan_adaptive(args)
     plan = build_plan(_configuration_from(args), include_compositing=not args.no_compositing)
     counts = plan.counts()
     print(f"plan: {len(plan)} experiments ({json.dumps(counts)})")
@@ -196,6 +333,8 @@ def _command_plan(args) -> int:
 
 
 def _command_run(args) -> int:
+    if args.adaptive:
+        return _command_run_adaptive(args)
     if (args.resume or args.require_cached) and not args.cache_dir:
         print(
             "error: --resume/--require-cached need --cache-dir (there is no cache to resume from)",

@@ -24,6 +24,7 @@ then the compositing matrix (algorithms x task counts x pixel sizes).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict, dataclass, field
 
 from repro.modeling.study import HOST_ARCHITECTURE, StudyConfiguration
@@ -36,6 +37,8 @@ __all__ = [
     "smoke_configuration",
     "full_configuration",
     "spec_from_payload",
+    "spec_corpus_key",
+    "corpus_spec_keys",
 ]
 
 #: Spec kinds and the experiment they resolve to.
@@ -256,7 +259,95 @@ def full_configuration(seed: int = 2016) -> StudyConfiguration:
     )
 
 
-def spec_from_payload(payload: dict) -> ExperimentSpec:
-    """Inverse of :meth:`ExperimentSpec.key_payload` (plan files, cache entries)."""
+def spec_from_payload(payload: dict, lenient: bool = False) -> ExperimentSpec:
+    """Inverse of :meth:`ExperimentSpec.key_payload` (plan files, cache entries).
+
+    Unknown payload keys raise: a key this spec schema does not carry means the
+    payload came from a newer (or otherwise diverged) plan/cache schema, and
+    silently dropping it would alias two *different* experiments onto one spec.
+    Pass ``lenient=True`` to downgrade the mismatch to a :class:`UserWarning`
+    (e.g. when deliberately reading a newer plan file for inspection).
+    """
     known = set(ExperimentSpec.__dataclass_fields__)
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        message = (
+            f"spec payload carries unknown keys {unknown}: plan/cache schema drift "
+            "(pass lenient=True to drop them anyway)"
+        )
+        if not lenient:
+            raise ValueError(message)
+        warnings.warn(message, UserWarning, stacklevel=2)
     return ExperimentSpec(**{name: value for name, value in payload.items() if name in known})
+
+
+# ---------------------------------------------------------------------------
+# Experiment identity across plans and corpora (adaptive dedup)
+# ---------------------------------------------------------------------------
+
+def spec_corpus_key(payload: "ExperimentSpec | dict") -> tuple:
+    """The *corpus-level* identity of an experiment, as a hashable tuple.
+
+    Coarser than :meth:`ExperimentSpec.key_payload` on purpose: corpus rows do
+    not record ``base_seed`` (two seeds rendering the same configuration
+    produce interchangeable rows as far as the fitted models are concerned),
+    so adaptive dedup must compare what a *row* can answer -- the observable
+    configuration.  Accepts a spec or its payload dict; compositing keys carry
+    total pixels (``pixel_size**2``) so they compare against
+    :class:`~repro.modeling.study.CompositingRecord.pixels` directly.
+    """
+    if isinstance(payload, ExperimentSpec):
+        payload = payload.key_payload()
+    if payload["kind"] == KIND_COMPOSITING:
+        size = int(payload["pixel_size"])
+        return (KIND_COMPOSITING, payload["algorithm"], int(payload["num_tasks"]), size * size)
+    samples = (
+        payload["samples_in_depth"]
+        if payload["kind"] == KIND_RENDER
+        else payload["synthetic_samples_in_depth"]
+    )
+    return (
+        "experiment",
+        payload["architecture"],
+        payload["technique"],
+        payload["simulation"],
+        int(payload["num_tasks"]),
+        int(payload["cells_per_task"]),
+        int(payload["image_width"]),
+        int(payload["image_height"]),
+        int(samples),
+        payload.get("dpp_device", "") if payload["kind"] == KIND_RENDER else "",
+    )
+
+
+def corpus_spec_keys(corpus) -> set[tuple]:
+    """Every experiment identity a corpus already holds (rows *and* failures).
+
+    Failure rows count: a configuration that crashed or timed out was spent
+    budget, and re-selecting it every adaptive round would wedge the loop on
+    a permanently-broken config.  Rendering rows key by the observable config
+    (the record's own ``samples_in_depth``/``dpp_device``), compositing rows
+    by (algorithm, tasks, pixels).
+    """
+    keys: set[tuple] = set()
+    for record in corpus.records:
+        keys.add(
+            (
+                "experiment",
+                record.architecture,
+                record.technique,
+                record.simulation,
+                int(record.num_tasks),
+                int(record.cells_per_task),
+                int(record.image_width),
+                int(record.image_height),
+                int(record.samples_in_depth),
+                record.dpp_device if record.architecture == HOST_ARCHITECTURE else "",
+            )
+        )
+    for record in corpus.compositing_records:
+        keys.add((KIND_COMPOSITING, record.algorithm, int(record.num_tasks), int(record.pixels)))
+    for failure in corpus.failures:
+        if failure.spec and "kind" in failure.spec:
+            keys.add(spec_corpus_key(failure.spec))
+    return keys
