@@ -18,6 +18,10 @@ Covers both hot paths of the frontier kernel engine:
   simulated ranks and 256^2 pixels with all three exchange algorithms
   (direct-send, binary-swap, radix-k), verified against and timed against
   the dense per-run drivers kept in-tree as ``composite_reference``.
+* **compositing_scale** -- the streaming cohort scheduler at 1,024 and
+  4,096 simulated ranks (ranks/s plus the 1k peak traced allocation),
+  where the dense engines no longer fit; bit-exactness against the dense
+  oracle is pinned by the tier-1 suite rather than re-verified here.
 
 The record supersedes the ray-tracing-only ``BENCH_raytracer.json`` of PR 1.
 """
@@ -35,6 +39,7 @@ if str(_BENCH_DIR) not in sys.path:  # allow `python -m benchmarks.emit_bench`
 
 import numpy as np
 
+import bench_compositing_scale as scale_bench
 import bench_compositing_throughput as compositing_bench
 import bench_table05_backend_comparison as device_bench
 import bench_traversal_throughput as raytracer_bench
@@ -56,6 +61,8 @@ def main(argv: list[str] | None = None) -> int:
     print("measuring compositing throughput ...")
     compositing_speedups = compositing_bench.measure_reference_speedups()
     compositing_results = compositing_bench.measure_all()
+    print("measuring streaming compositing at scale (1k-4k ranks) ...")
+    scale_results = scale_bench.measure_scale_section()
     print("verifying traversal engine against brute force on every pool scene ...")
     raytracer_bench.verify_pool_differential()
     print("verifying volume engines against the pre-refactor reference loops ...")
@@ -137,6 +144,11 @@ def main(argv: list[str] | None = None) -> int:
                 for key, value in compositing_results.items()
             },
         },
+        "compositing_scale": {
+            "scenes": "scene_factory('uniform'), depth mode, 128^2, cohort engine",
+            "units": "ranks/s (peak_memory_bytes: lower is better)",
+            "current": scale_results,
+        },
         "device_comparison": {
             "scenes": "stream-compaction + segmented_argmin idioms, 200k elements",
             "units": "M elements/s",
@@ -167,6 +179,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {key:24s} {value:8.4f} s/composite")
     aggregate = record["compositing"]["aggregate_speedup_vs_reference_64"]
     print(f"  aggregate speedup vs composite_reference at 64 ranks: {aggregate}x")
+    print("[compositing_scale]")
+    for key, value in record["compositing_scale"]["current"].items():
+        print(f"  {key:36s} {value:14.2f}")
     print("[device_comparison]")
     for key, value in record["device_comparison"]["current"].items():
         print(f"  {key:36s} {value:10.4f} M elements/s")

@@ -11,7 +11,7 @@ tolerance (default 30%) against the records' ``current`` sections:
 
 Throughput sections (``raytracer``, ``volume``, Mrays/s) regress *down*;
 the ``compositing`` section (seconds per composite) regresses *up*.  The
-``serving`` section mixes directions per key -- predictions/sec falls, p99
+``compositing_scale`` and ``serving`` sections mix directions per key -- predictions/sec falls, p99
 latency rises -- so :data:`HIGHER_IS_BETTER` values are either a bool for a
 whole section or a per-key dict.  The comparison logic
 (:func:`compare_sections`) is pure and unit-tested; only ``measure_smoke``
@@ -36,6 +36,12 @@ SMOKE_KEYS = {
     "raytracer": ("intersection_only_96", "shading_96", "full_96"),
     "volume": ("structured_96", "unstructured_96"),
     "compositing": ("direct-send_64", "binary-swap_64", "radix-k_64"),
+    "compositing_scale": (
+        "binary-swap_1024_ranks_per_s",
+        "radix-k_1024_ranks_per_s",
+        "binary-swap_4096_ranks_per_s",
+        "binary-swap_1024_peak_memory_bytes",
+    ),
     "serving": ("smoke_predictions_per_s", "smoke_p99_ms"),
     # Only the vectorized device is guarded: serial throughput is a
     # reference measurement, and optional back-ends (jax) are absent from
@@ -49,6 +55,12 @@ HIGHER_IS_BETTER = {
     "raytracer": True,
     "volume": True,
     "compositing": False,
+    "compositing_scale": {
+        "binary-swap_1024_ranks_per_s": True,
+        "radix-k_1024_ranks_per_s": True,
+        "binary-swap_4096_ranks_per_s": True,
+        "binary-swap_1024_peak_memory_bytes": False,
+    },
     "serving": {"smoke_predictions_per_s": True, "smoke_p99_ms": False},
     "device_comparison": True,
 }
@@ -133,6 +145,9 @@ def measure_smoke() -> dict[str, dict[str, float]]:
         measured["compositing"][key] = compositing_bench.measure_algorithm(
             algorithm, int(tasks), 256
         )["seconds"]
+    import bench_compositing_scale as scale_bench
+
+    measured["compositing_scale"] = dict(scale_bench.measure_scale_section())
     measured["serving"] = dict(serving_bench.measure_smoke_serving())
     import bench_table05_backend_comparison as device_bench
 

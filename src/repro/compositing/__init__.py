@@ -15,17 +15,24 @@ Two merge modes are supported:
   volume renderers.
 """
 
+from repro.compositing.algorithms import RadixFactorError, StreamStats, validate_radices
 from repro.compositing.compositor import CompositeResult, Compositor
 from repro.compositing.image import SubImage, composite_pixels
 from repro.compositing.reference import composite_reference
 from repro.compositing.runimage import RunImage, run_image_from_framebuffer
+from repro.compositing.scenarios import SCENARIOS, scene_factory
 
 __all__ = [
+    "SCENARIOS",
     "CompositeResult",
     "Compositor",
+    "RadixFactorError",
     "RunImage",
+    "StreamStats",
     "SubImage",
     "composite_pixels",
     "composite_reference",
     "run_image_from_framebuffer",
+    "scene_factory",
+    "validate_radices",
 ]

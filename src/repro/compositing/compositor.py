@@ -30,7 +30,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.compositing.algorithms import binary_swap, direct_send, radix_k
+from typing import Callable
+
+from repro.compositing.algorithms import (
+    binary_swap,
+    binary_swap_streaming,
+    direct_send,
+    direct_send_streaming,
+    radix_k,
+    radix_k_streaming,
+    validate_radices,
+)
 from repro.compositing.image import from_framebuffer
 from repro.compositing.reference import composite_reference
 from repro.compositing.runimage import RunImage, active_mask, run_image_from_framebuffer
@@ -47,7 +57,13 @@ _ALGORITHMS = {
     "radix-k": radix_k,
 }
 
-_ENGINES = ("runlength", "reference")
+_STREAMING = {
+    "direct-send": direct_send_streaming,
+    "binary-swap": binary_swap_streaming,
+    "radix-k": radix_k_streaming,
+}
+
+_ENGINES = ("runlength", "reference", "cohort")
 
 
 @dataclass
@@ -89,6 +105,14 @@ class CompositeResult:
     num_tasks: int
     num_pixels: int
     engine: str = "runlength"
+    #: Cohort-engine bookkeeping (zero on the dense engines): the configured
+    #: live-image budget, the observed peak (contract: at most budget + 1),
+    #: generate->merge->retire batches, and a compact per-round traffic
+    #: summary (the round-log artifact the CI scale gate uploads).
+    max_live_ranks: int = 0
+    peak_live_images: int = 0
+    cohorts: int = 0
+    round_summary: list[dict] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -107,16 +131,24 @@ class Compositor:
         ``"direct-send"``.
     network:
         Network cost model for the simulated interconnect.
+    radices:
+        Explicit radix schedule for ``"radix-k"``; its product must equal the
+        task count at composite time (:class:`~repro.compositing.algorithms.
+        RadixFactorError` otherwise).  ``None`` factors the task count
+        automatically.
     """
 
     algorithm: str = "radix-k"
     network: NetworkModel = field(default_factory=NetworkModel)
+    radices: list[int] | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in _ALGORITHMS:
             raise ValueError(
                 f"unknown compositing algorithm {self.algorithm!r}; choose from {sorted(_ALGORITHMS)}"
             )
+        if self.radices is not None and self.algorithm != "radix-k":
+            raise ValueError("an explicit radix schedule requires algorithm='radix-k'")
 
     def composite(
         self,
@@ -138,8 +170,11 @@ class Compositor:
             Required for ``"over"``: smaller values composite in front
             (typically each block's distance from the camera).
         engine:
-            ``"runlength"`` (fast path, default) or ``"reference"`` (dense
-            oracle).
+            ``"runlength"`` (fast path, default), ``"reference"`` (dense
+            oracle), or ``"cohort"`` (the streaming scheduler running over
+            the same framebuffers -- primarily for differential testing; at
+            scale use :meth:`composite_streaming` so rank images need never
+            coexist).
         """
         if not framebuffers:
             raise ValueError("composite requires at least one framebuffer")
@@ -161,8 +196,24 @@ class Compositor:
         else:
             raise ValueError(f"unknown compositing mode {mode!r}")
 
+        if self.radices is not None:
+            validate_radices(len(ordered), self.radices)
         comm = SimulatedCommunicator(len(ordered), self.network)
         algorithm = _ALGORITHMS[self.algorithm]
+        if engine == "cohort":
+            images = [
+                run_image_from_framebuffer(framebuffer, mode, key=position)
+                for position, framebuffer in enumerate(ordered)
+            ]
+            return self.composite_streaming(
+                lambda position: images[position],
+                len(ordered),
+                ordered[0].width,
+                ordered[0].height,
+                mode,
+                background=background,
+                rank_background=tuple(float(v) for v in ordered[0].background),
+            )
         if engine == "runlength":
             images = [
                 run_image_from_framebuffer(framebuffer, mode, key=position)
@@ -170,7 +221,10 @@ class Compositor:
             ]
             average_active = float(np.mean([image.active_pixels for image in images]))
             with Timer() as timer:
-                final, merges = algorithm(images, comm, mode)
+                if self.algorithm == "radix-k":
+                    final, merges = algorithm(images, comm, mode, radices=self.radices)
+                else:
+                    final, merges = algorithm(images, comm, mode)
             framebuffer = self._assemble(final, mode, len(ordered), ordered[0].background, background)
         else:
             if mode == "over":
@@ -187,7 +241,8 @@ class Compositor:
             )
             with Timer() as timer:
                 dense, merges = composite_reference(
-                    self.algorithm, [image.copy() for image in sub_images], comm, mode
+                    self.algorithm, [image.copy() for image in sub_images], comm, mode,
+                    radices=self.radices,
                 )
             framebuffer = dense.to_framebuffer(background)
         return CompositeResult(
@@ -201,6 +256,67 @@ class Compositor:
             num_tasks=len(ordered),
             num_pixels=ordered[0].num_pixels,
             engine=engine,
+        )
+
+    def composite_streaming(
+        self,
+        factory: Callable[[int], RunImage],
+        num_tasks: int,
+        width: int,
+        height: int,
+        mode: str = "depth",
+        *,
+        max_live_ranks: int = 256,
+        background: tuple[float, float, float, float] = (1.0, 1.0, 1.0, 0.0),
+        rank_background: tuple[float, float, float, float] | None = None,
+    ) -> CompositeResult:
+        """Composite thousands of simulated ranks without materializing them.
+
+        ``factory(position)`` produces the :class:`RunImage` for visibility
+        position ``position`` (ascending = front to back; for depth
+        compositing any order works) and is called exactly once per rank, in
+        bounded cohorts -- at most ``max_live_ranks`` rank images are live at
+        any point, so 16k simulated ranks fit where the dense engines cap out
+        near 256.  The result is bit-identical to running :meth:`composite`
+        over the same images (the scheduler is a pure reordering of the same
+        merge operations) and invariant to ``max_live_ranks``.
+
+        ``rank_background`` is the background the simulated renders used
+        (what uncovered pixels show); defaults to ``background``.
+        """
+        if mode not in ("depth", "over"):
+            raise ValueError(f"unknown compositing mode {mode!r}")
+        if num_tasks < 1:
+            raise ValueError("composite requires at least one task")
+        if max_live_ranks < 1:
+            raise ValueError("max_live_ranks must be positive")
+        if self.radices is not None:
+            validate_radices(num_tasks, self.radices)
+        comm = SimulatedCommunicator(num_tasks, self.network)
+        driver = _STREAMING[self.algorithm]
+        kwargs = {"radices": self.radices} if self.algorithm == "radix-k" else {}
+        with Timer() as timer:
+            final, merges, stats = driver(
+                factory, num_tasks, width, height, comm, mode,
+                max_live_ranks=max_live_ranks, **kwargs,
+            )
+        fill = tuple(float(v) for v in (rank_background if rank_background is not None else background))
+        framebuffer = self._assemble(final, mode, num_tasks, np.asarray(fill), background)
+        return CompositeResult(
+            framebuffer=framebuffer,
+            local_seconds=timer.elapsed,
+            network_seconds=comm.estimate_time(),
+            bytes_exchanged=comm.total_bytes(),
+            messages=comm.total_messages(),
+            merge_operations=merges,
+            average_active_pixels=stats.total_active_pixels / num_tasks,
+            num_tasks=num_tasks,
+            num_pixels=width * height,
+            engine="cohort",
+            max_live_ranks=stats.max_live_ranks,
+            peak_live_images=stats.peak_live_images,
+            cohorts=stats.cohorts,
+            round_summary=comm.round_summaries(),
         )
 
     @staticmethod

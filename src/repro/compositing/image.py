@@ -104,7 +104,9 @@ class SubImage:
         """A contiguous pixel run (used by the exchange algorithms)."""
         return self.rgba[start:stop], self.depth[start:stop]
 
-    def to_framebuffer(self, background: tuple[float, float, float, float] = (1.0, 1.0, 1.0, 0.0)) -> Framebuffer:
+    def to_framebuffer(
+        self, background: tuple[float, float, float, float] = (1.0, 1.0, 1.0, 0.0)
+    ) -> Framebuffer:
         """Convert back to a :class:`Framebuffer`."""
         framebuffer = Framebuffer(self.width, self.height, background)
         framebuffer.rgba = self.rgba.reshape(self.height, self.width, 4).copy()

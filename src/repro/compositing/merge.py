@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.dpp.primitives import gather, segmented_argmin
 
-__all__ = ["merge_fragments", "merge_sorted_pair", "merge_groups"]
+__all__ = ["merge_fragments", "merge_sorted_pair", "merge_groups", "fold_bag_into_partial"]
 
 #: Groups with at most this many fragment sets fold pairwise through
 #: :func:`merge_sorted_pair`; wider groups (direct-send) use the sorted bag.
@@ -241,6 +241,118 @@ def merge_fragments(
             rows = segment_starts[segments] + depth_layer
             acc_rgba[segments] = _blend_over(acc_rgba[segments], rgba_sorted[rows])
     return unique_pixels, acc_rgba, np.zeros(len(unique_pixels)), merge_ops
+
+
+def fold_bag_into_partial(
+    partial: tuple[np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None] | None,
+    pixels: np.ndarray,
+    rgba: np.ndarray,
+    depth: np.ndarray | None,
+    keys: np.ndarray | None,
+    mode: str,
+) -> tuple[tuple[np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None], int]:
+    """Fold one cohort's fragment bag onto a running one-fragment-per-pixel partial.
+
+    This is the streaming counterpart of :func:`merge_fragments`: the cohort
+    scheduler generates a bounded batch of rank images, concatenates their
+    fragments into a bag, folds the bag here, and retires the batch -- so a
+    P-way composite never holds more than a cohort of live images plus the
+    partial.  The bag must be concatenated in ascending visibility-key order
+    (per pixel), the same precondition the in-memory bag path relies on.
+
+    ``partial`` is ``None`` (first cohort) or ``(pixels, rgba, depth, keys)``
+    with strictly ascending unique pixels.  For ``"over"`` the partial is
+    strictly in *front* of the bag (cohorts stream in ascending key order);
+    ``depth``/``keys`` are ignored and carried as ``None``.  For ``"depth"``
+    the bag ``keys`` and ``depth`` are required, and the partial carries the
+    winning fragment's depth and key so later cohorts keep tie-breaking
+    exactly as the dense tournament does.
+
+    The per-pixel operation chain is *identical* to folding the concatenated
+    bags of every cohort through :func:`merge_fragments` at once: ``"depth"``
+    is a pure (depth, key)-lexicographic selection (associative, exact), and
+    ``"over"`` continues the same strict front-to-back left fold per pixel --
+    the blends are elementwise, so batching per cohort cannot change a single
+    bit of the result.  ``merge_ops`` telescopes the same way: summed over
+    cohorts it equals fragments minus surviving pixels, the dense count.
+
+    Returns ``((pixels, rgba, depth, keys), merge_ops)``.
+    """
+    if mode not in ("depth", "over"):
+        raise ValueError(f"unknown compositing mode {mode!r}")
+    with_depth = mode == "depth"
+    if partial is None:
+        empty = np.empty(0, dtype=np.int64)
+        partial = (
+            empty,
+            np.empty((0, 4), dtype=np.float64),
+            np.empty(0, dtype=np.float64) if with_depth else None,
+            empty.copy() if with_depth else None,
+        )
+    pixels = np.asarray(pixels, dtype=np.int64)
+    if len(pixels) == 0:
+        return partial, 0
+
+    # The bag arrives concatenated in ascending key order per pixel, so a
+    # stable sort on the pixel id alone preserves front-to-back order within
+    # each pixel (exactly the keys=None contract of merge_fragments).
+    order = np.argsort(pixels, kind="stable")
+    pixels_sorted = pixels[order]
+    rgba_sorted = np.asarray(rgba, dtype=np.float64)[order]
+    boundary = np.empty(len(pixels_sorted), dtype=bool)
+    boundary[0] = True
+    np.not_equal(pixels_sorted[1:], pixels_sorted[:-1], out=boundary[1:])
+    segment_starts = np.flatnonzero(boundary)
+    unique_pixels = pixels_sorted[segment_starts]
+    bag_ops = int(len(pixels_sorted) - len(segment_starts))
+
+    if with_depth:
+        if depth is None or keys is None:
+            raise ValueError("'depth' streaming folds require bag depth and keys")
+        depth_sorted = np.asarray(depth, dtype=np.float64)[order]
+        keys_sorted = np.asarray(keys, dtype=np.int64)[order]
+        winners = segmented_argmin(depth_sorted, segment_starts, keys_sorted)
+        bag = (
+            unique_pixels,
+            gather(rgba_sorted, winners),
+            gather(depth_sorted, winners),
+            keys_sorted[winners],
+        )
+        merged, shared_ops = merge_sorted_pair(partial, bag, "depth")
+        return merged, bag_ops + shared_ops
+
+    part_pix, part_rgba = partial[0], partial[1]
+    if len(part_pix) == 0:
+        out_pix = unique_pixels
+        out_rgba = rgba_sorted[segment_starts].copy()
+        bag_dest = _indices(len(unique_pixels))
+        shared_ops = 0
+    else:
+        out_pix, front_dest, back_dest, shared_front, shared_back = _align_union(
+            part_pix, unique_pixels
+        )
+        out_rgba = np.empty((len(out_pix), 4), dtype=np.float64)
+        out_rgba[front_dest] = part_rgba
+        out_rgba[back_dest] = rgba_sorted[segment_starts[~shared_back]]
+        # Where the partial already owns the pixel, the bag's front-most layer
+        # blends *behind* it -- the continuation of the running left fold.
+        shared_ops = int(np.count_nonzero(shared_back))
+        if shared_ops:
+            shared_dest = front_dest[shared_front]
+            out_rgba[shared_dest] = _blend_over(
+                part_rgba[shared_front], rgba_sorted[segment_starts[shared_back]]
+            )
+        bag_dest = np.empty(len(unique_pixels), dtype=np.int64)
+        bag_dest[shared_back] = front_dest[shared_front]
+        bag_dest[~shared_back] = back_dest
+    counts = np.diff(np.append(segment_starts, len(pixels_sorted)))
+    if bag_ops:
+        for depth_layer in range(1, int(counts.max())):
+            segments = np.flatnonzero(counts > depth_layer)
+            rows = segment_starts[segments] + depth_layer
+            dest = bag_dest[segments]
+            out_rgba[dest] = _blend_over(out_rgba[dest], rgba_sorted[rows])
+    return (out_pix, out_rgba, None, None), bag_ops + shared_ops
 
 
 def _fold_groups_over(

@@ -25,7 +25,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compositing.algorithms import _mixed_radix_digits, _pixel_partition, factor_radices
+from repro.compositing.algorithms import (
+    _mixed_radix_digits,
+    _pixel_partition,
+    factor_radices,
+    validate_radices,
+)
 from repro.compositing.image import SubImage, composite_pixels
 from repro.runtime.communicator import SimulatedCommunicator
 
@@ -37,7 +42,9 @@ __all__ = [
 ]
 
 
-def _ordered_fold(pieces: list[tuple[int, np.ndarray, np.ndarray]], mode: str) -> tuple[np.ndarray, np.ndarray, int]:
+def _ordered_fold(
+    pieces: list[tuple[int, np.ndarray, np.ndarray]], mode: str
+) -> tuple[np.ndarray, np.ndarray, int]:
     """Composite pixel runs in ascending key order; returns ``(rgba, depth, merges)``.
 
     ``pieces`` holds ``(order_key, rgba, depth)`` tuples covering the same
@@ -211,9 +218,7 @@ def radix_k_reference(
     num_pixels = images[0].num_pixels
     if radices is None:
         radices = factor_radices(size)
-    product = int(np.prod(radices))
-    if product != size:
-        raise ValueError(f"radices {radices} do not multiply out to {size} ranks")
+    radices = validate_radices(size, radices)
     merges = 0
 
     owned = {rank: (0, num_pixels) for rank in range(size)}

@@ -214,6 +214,25 @@ class RunImage:
         )
         return payload, self.wire_bytes(lo, hi, with_depth)
 
+    def piece_wire_table(self, edges: np.ndarray, with_depth: bool = True) -> np.ndarray:
+        """Vectorized :meth:`wire_bytes` for every interval ``[edges[i], edges[i+1])``.
+
+        Returns the ``(len(edges) - 1,)`` float array of simulated wire sizes
+        without materializing any payload views -- the streaming direct-send
+        accounting needs one such row per source rank (P entries each), and a
+        per-piece Python loop would make that O(P^2) interpreter work.
+        """
+        edges = np.asarray(edges, dtype=np.int64)
+        bounds = np.searchsorted(self.pixels, edges)
+        active = np.diff(bounds)
+        positions = self._run_positions
+        run_low = np.searchsorted(positions, bounds[:-1], side="right")
+        run_high = np.searchsorted(positions, bounds[1:], side="left")
+        runs = 1 + (run_high - run_low)
+        per_pixel = 40.0 if with_depth else 32.0
+        nbytes = 64.0 + 16.0 * runs + per_pixel * active
+        return np.where(active > 0, nbytes, 64.0)
+
     def piece_table(self, edges: np.ndarray, with_depth: bool = True) -> list:
         """:meth:`piece_message` for every interval ``[edges[i], edges[i+1])``.
 

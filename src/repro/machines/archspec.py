@@ -256,6 +256,64 @@ register_architecture(
         noise_sigma=0.08,
     )
 )
+# ---------------------------------------------------------------------------
+# Modern-GPU extrapolation profiles.  Table 15 validates the performance model
+# on synthetic architectures; these extend the spectrum past the Kepler-era
+# devices the paper measured so the scale study's architecture sweep spans
+# roughly three orders of magnitude of device throughput.  Rates extrapolate
+# the K40m profile by published peak-FLOP/bandwidth ratios (P100 ~4x, V100
+# ~7x, A100 ~14x on the memory-bound terms) with kernel overhead shrinking as
+# launch latency improved.
+# ---------------------------------------------------------------------------
+register_architecture(
+    ArchitectureSpec(
+        name="gpu-p100",
+        kind="gpu",
+        description="NVIDIA Tesla P100 (Pascal) -- ~4x K40m extrapolation",
+        build_rate=3.0e8,
+        traversal_rate=1.1e10,
+        shade_rate=1.9e9,
+        cull_rate=1.9e9,
+        raster_rate=1.1e10,
+        cell_rate=2.8e10,
+        sample_rate=3.7e9,
+        kernel_overhead_seconds=1e-5,
+        noise_sigma=0.05,
+    )
+)
+register_architecture(
+    ArchitectureSpec(
+        name="gpu-v100",
+        kind="gpu",
+        description="NVIDIA Tesla V100 (Volta) -- ~7x K40m extrapolation",
+        build_rate=5.3e8,
+        traversal_rate=1.9e10,
+        shade_rate=3.3e9,
+        cull_rate=3.4e9,
+        raster_rate=1.9e10,
+        cell_rate=4.9e10,
+        sample_rate=6.5e9,
+        kernel_overhead_seconds=8e-6,
+        noise_sigma=0.05,
+    )
+)
+register_architecture(
+    ArchitectureSpec(
+        name="gpu-a100",
+        kind="gpu",
+        description="NVIDIA A100 (Ampere) -- ~14x K40m extrapolation",
+        build_rate=1.1e9,
+        traversal_rate=3.9e10,
+        shade_rate=6.6e9,
+        cull_rate=6.7e9,
+        raster_rate=3.8e10,
+        cell_rate=9.8e10,
+        sample_rate=1.3e10,
+        kernel_overhead_seconds=6e-6,
+        noise_sigma=0.04,
+    )
+)
+
 register_architecture(
     ArchitectureSpec(
         name="mic-phi-openmp",

@@ -54,8 +54,8 @@ from repro.rendering import (
 from repro.rendering.framebuffer import Framebuffer
 from repro.rendering.result import ObservedFeatures, RenderResult
 from repro.runtime.decomposition import BlockDecomposition
-from repro.compositing import Compositor
-from repro.util.rng import default_rng
+from repro.compositing import Compositor, scene_factory
+from repro.util.rng import default_rng, derive_seed
 
 __all__ = [
     "StudyConfiguration",
@@ -144,6 +144,18 @@ class StudyConfiguration:
     compositing_task_counts: tuple[int, ...] = (2, 4, 8, 16, 32, 64)
     compositing_pixel_sizes: tuple[int, ...] = (64, 96, 128, 192, 256)
     compositing_algorithms: tuple[str, ...] = ("radix-k",)
+    #: Task counts above this budget run through the cohort scheduler
+    #: (:meth:`repro.compositing.Compositor.composite_streaming`) instead of
+    #: materializing every rank's framebuffer, which is how the sweep reaches
+    #: thousand-rank rows in bounded memory.
+    compositing_max_live_ranks: int = 256
+    #: Explicit radix schedule for ``"radix-k"`` rows; ``None`` factors the
+    #: task count.  The product must equal every swept task count
+    #: (:class:`repro.compositing.RadixFactorError` otherwise).
+    compositing_radices: tuple[int, ...] | None = None
+    #: Scene family for streamed (above-budget) compositing rows -- a key of
+    #: :data:`repro.compositing.SCENARIOS` (``uniform``/``amr``/``camera-orbit``).
+    compositing_scenario: str = "uniform"
 
     def stratified_samples(
         self, rng: np.random.Generator, synthetic: bool = False
@@ -657,10 +669,37 @@ class StudyHarness:
         """
         if rng is None:
             rng = default_rng(self.config.seed, "compositing-sweep", algorithm, num_tasks, pixel_size)
-        framebuffers = self._synthetic_sub_images(num_tasks, pixel_size, pixel_size, rng)
-        compositor = Compositor(algorithm)
-        visibility = list(np.arange(num_tasks, dtype=np.float64))
-        result = compositor.composite(framebuffers, mode="over", visibility_order=visibility)
+        radices = None
+        if algorithm == "radix-k" and self.config.compositing_radices is not None:
+            radices = list(self.config.compositing_radices)
+        compositor = Compositor(algorithm, radices=radices)
+        if num_tasks > self.config.compositing_max_live_ranks:
+            # Thousand-rank rows: stream per-rank images through the cohort
+            # scheduler instead of materializing the whole population.  The
+            # factory is seeded per configuration, so the row stays a pure
+            # function of the configuration regardless of sweep order.
+            factory = scene_factory(
+                self.config.compositing_scenario,
+                num_tasks,
+                pixel_size,
+                pixel_size,
+                mode="over",
+                seed=derive_seed(
+                    self.config.seed, "compositing-sweep", algorithm, num_tasks, pixel_size
+                ),
+            )
+            result = compositor.composite_streaming(
+                factory,
+                num_tasks,
+                pixel_size,
+                pixel_size,
+                mode="over",
+                max_live_ranks=self.config.compositing_max_live_ranks,
+            )
+        else:
+            framebuffers = self._synthetic_sub_images(num_tasks, pixel_size, pixel_size, rng)
+            visibility = list(np.arange(num_tasks, dtype=np.float64))
+            result = compositor.composite(framebuffers, mode="over", visibility_order=visibility)
         # Blending happens concurrently on every rank, so charge the per-rank
         # share of the exchanged bytes (the critical path), not the total.
         blend_seconds = (

@@ -19,7 +19,7 @@ from repro.geometry.aabb import AABB, ray_box_intervals
 from repro.geometry.transforms import Camera
 from repro.util.morton import morton_encode_2d
 
-__all__ = ["RayEmitter"]
+__all__ = ["CameraPath", "RayEmitter"]
 
 
 @dataclass
@@ -120,3 +120,71 @@ class RayEmitter:
         keep = t_far > t_near
         kept = np.flatnonzero(keep)
         return pixel_ids[kept], origins[kept], directions[kept], t_near[kept], t_far[kept]
+
+
+@dataclass
+class CameraPath:
+    """A time-varying camera orbit: one :class:`Camera` (or emitter) per frame.
+
+    The scale-study scenarios render a fly-around rather than a fixed view,
+    so the per-rank active-pixel footprint shifts frame to frame (the camera
+    sweeps across the decomposition).  The path orbits ``look_at`` in the
+    plane orthogonal to ``up`` while bobbing along ``up``; frame ``t`` of
+    ``num_frames`` sits at angle ``2*pi*t/num_frames`` plus the phase.
+
+    Attributes
+    ----------
+    template:
+        Camera carrying the shared intrinsics (fov, resolution, clip planes)
+        plus the orbit center (``look_at``) and radius (distance from
+        ``position`` to ``look_at``).
+    num_frames:
+        Frames in one full orbit.
+    elevation:
+        Amplitude of the ``up``-axis bob, as a fraction of the orbit radius.
+    phase:
+        Starting angle in radians.
+    """
+
+    template: Camera
+    num_frames: int = 60
+    elevation: float = 0.2
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_frames < 1:
+            raise ValueError("num_frames must be positive")
+
+    def camera_at(self, frame: int) -> Camera:
+        """The orbit camera for ``frame`` (wraps modulo ``num_frames``)."""
+        template = self.template
+        offset = template.position - template.look_at
+        radius = float(np.linalg.norm(offset))
+        if radius == 0.0:
+            raise ValueError("template camera must not sit on its look_at point")
+        up = template.up / np.linalg.norm(template.up)
+        # Orbit basis: the template's offset projected off `up`, plus the
+        # orthogonal in-plane direction.
+        planar = offset - offset.dot(up) * up
+        if np.linalg.norm(planar) < 1e-12:
+            planar = np.array([1.0, 0.0, 0.0]) - up[0] * up
+        axis_a = planar / np.linalg.norm(planar)
+        axis_b = np.cross(up, axis_a)
+        angle = self.phase + 2.0 * np.pi * (frame % self.num_frames) / self.num_frames
+        position = template.look_at + radius * (
+            np.cos(angle) * axis_a + np.sin(angle) * axis_b
+        ) + self.elevation * radius * np.sin(angle) * up
+        return Camera(
+            position=position,
+            look_at=template.look_at,
+            up=template.up,
+            fov_y_degrees=template.fov_y_degrees,
+            width=template.width,
+            height=template.height,
+            near=template.near,
+            far=template.far,
+        )
+
+    def emitter_at(self, frame: int, supersample: int = 1, morton_order: bool = False) -> RayEmitter:
+        """A :class:`RayEmitter` positioned at ``frame`` of the orbit."""
+        return RayEmitter(self.camera_at(frame), supersample=supersample, morton_order=morton_order)

@@ -21,12 +21,13 @@ simulation time, ``mesh()`` exposes the current mesh + fields, and
 the Strawman-like in situ interface (Chapter IV).
 """
 
+from repro.simulations.amr import AmrProxy
 from repro.simulations.base import SimulationProxy
 from repro.simulations.cloverleaf import CloverleafProxy
 from repro.simulations.kripke import KripkeProxy
 from repro.simulations.lulesh import LuleshProxy
 
-__all__ = ["CloverleafProxy", "KripkeProxy", "LuleshProxy", "SimulationProxy", "create_proxy"]
+__all__ = ["AmrProxy", "CloverleafProxy", "KripkeProxy", "LuleshProxy", "SimulationProxy", "create_proxy"]
 
 
 def create_proxy(name: str, cells_per_axis: int, seed: int | None = None) -> SimulationProxy:
@@ -38,4 +39,6 @@ def create_proxy(name: str, cells_per_axis: int, seed: int | None = None) -> Sim
         return KripkeProxy(cells_per_axis, seed=seed)
     if key in ("cloverleaf", "cloverleaf3d"):
         return CloverleafProxy(cells_per_axis, seed=seed)
+    if key == "amr":
+        return AmrProxy(cells_per_axis, seed=seed)
     raise KeyError(f"unknown simulation proxy {name!r}")

@@ -35,7 +35,9 @@ class LuleshProxy(SimulationProxy):
         Seed for the small random perturbation of initial node positions.
     """
 
-    def __init__(self, cells_per_axis: int, initial_energy: float = 3.948746e7, seed: int | None = None) -> None:
+    def __init__(
+        self, cells_per_axis: int, initial_energy: float = 3.948746e7, seed: int | None = None
+    ) -> None:
         super().__init__()
         if cells_per_axis < 2:
             raise ValueError("cells_per_axis must be at least 2")

@@ -38,7 +38,10 @@ failure rows; 5 a ``fit``/``report`` where *every* fit was degenerate (the
 structured failure report is printed as JSON); 6 a ``predict`` naming an
 unknown ``(architecture, technique)`` slice (the structured JSON error is
 printed to stdout); 7 an adaptive ``plan``/``run`` whose candidate matrix
-deduplicated to nothing (the corpus already covers every candidate).
+deduplicated to nothing (the corpus already covers every candidate); 8 a
+radix schedule (``--radices``) whose product does not equal a swept task
+count (the :class:`repro.compositing.RadixFactorError` payload is printed
+as JSON).
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ import json
 import sys
 from dataclasses import replace
 
+from repro.compositing import RadixFactorError, validate_radices
 from repro.modeling.study import StudyConfiguration
 from repro.study.cache import CorpusCache
 from repro.study.corpus_io import load_corpus, merge_corpora, save_corpus
@@ -62,6 +66,9 @@ EXIT_UNKNOWN_MODEL = 6
 
 #: Exit code of an adaptive plan/run with no candidates left after dedup.
 EXIT_NO_CANDIDATES = 7
+
+#: Exit code of a run whose radix schedule does not tile a swept task count.
+EXIT_RADIX_SCHEDULE = 8
 
 __all__ = ["main", "build_parser"]
 
@@ -104,6 +111,24 @@ def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma list from direct-send,binary-swap,radix-k",
     )
     matrix.add_argument("--no-compositing", action="store_true", help="skip the Eq. 5.5 sweep")
+    matrix.add_argument(
+        "--compositing-tasks", type=_comma_ints, help="comma list of compositing rank counts"
+    )
+    matrix.add_argument(
+        "--radices",
+        type=_comma_ints,
+        help="explicit radix-k schedule; its product must equal every swept rank count",
+    )
+    matrix.add_argument(
+        "--max-live-ranks",
+        type=int,
+        help="cohort budget: rank counts above it stream through the cohort scheduler",
+    )
+    matrix.add_argument(
+        "--compositing-scenario",
+        choices=("uniform", "amr", "camera-orbit"),
+        help="scene family for streamed compositing rows",
+    )
 
 
 def _add_adaptive_arguments(parser: argparse.ArgumentParser) -> None:
@@ -139,7 +164,22 @@ def _configuration_from(args: argparse.Namespace) -> StudyConfiguration:
         overrides["task_counts"] = args.task_counts
     if args.compositing_algorithms:
         overrides["compositing_algorithms"] = args.compositing_algorithms
-    return replace(config, **overrides) if overrides else config
+    if getattr(args, "compositing_tasks", None):
+        overrides["compositing_task_counts"] = args.compositing_tasks
+    if getattr(args, "radices", None):
+        overrides["compositing_radices"] = args.radices
+    if getattr(args, "max_live_ranks", None) is not None:
+        overrides["compositing_max_live_ranks"] = args.max_live_ranks
+    if getattr(args, "compositing_scenario", None):
+        overrides["compositing_scenario"] = args.compositing_scenario
+    config = replace(config, **overrides) if overrides else config
+    if config.compositing_radices is not None and "radix-k" in config.compositing_algorithms:
+        # Validate the schedule against every swept rank count up front: a
+        # schedule that does not tile a count would otherwise only surface
+        # mid-sweep as an isolated failure row.
+        for tasks in config.compositing_task_counts:
+            validate_radices(tasks, config.compositing_radices)
+    return config
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -521,7 +561,13 @@ def main(argv: list[str] | None = None) -> int:
         "report": _command_report,
         "predict": _command_predict,
     }[args.command]
-    return command(args)
+    try:
+        return command(args)
+    except RadixFactorError as error:
+        # A mis-specified --radices schedule is a configuration error, not a
+        # crash: report it machine-readably on its own exit code.
+        print(json.dumps(error.as_dict(), indent=2, sort_keys=True))
+        return EXIT_RADIX_SCHEDULE
 
 
 if __name__ == "__main__":

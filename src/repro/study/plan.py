@@ -250,10 +250,18 @@ def full_configuration(seed: int = 2016) -> StudyConfiguration:
     sampler ran at seed speed (a single 192^2 tet render cost ~20 s); the
     fragment-sorted sampler removed that cliff, so ``volume_unstructured``
     rows now sweep the same full-resolution range as every other family.
+
+    The compositing axis extends past the 256-rank dense ceiling: the 1,024-
+    and 4,096-rank rows stream through the cohort scheduler (bounded by
+    ``compositing_max_live_ranks``) over the AMR nonuniform-decomposition
+    scenario, so the Eq. 5.5 corpus covers the thousand-rank regime the paper
+    validates at Titan scale.
     """
     return StudyConfiguration(
         techniques=("raytrace", "raster", "volume", "volume_unstructured"),
         compositing_algorithms=("direct-send", "binary-swap", "radix-k"),
+        compositing_task_counts=(2, 4, 8, 16, 32, 64, 256, 1024, 4096),
+        compositing_scenario="amr",
         image_size_range=(64, 192),
         seed=seed,
     )

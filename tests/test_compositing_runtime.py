@@ -48,16 +48,34 @@ class TestCommunicator:
 
     def test_round_accounting_is_critical_path(self):
         network = NetworkModel(latency_seconds=1.0, bandwidth_bytes_per_second=1e12)
-        world = SimulatedCommunicator(3, network)
-        # Two sends in the same round by different ranks: concurrent, cost ~1 latency.
+        world = SimulatedCommunicator(4, network)
+        # Two sends to *different* destinations: fully concurrent, ~1 latency.
         world.rank(0).send(1, np.zeros(10))
-        world.rank(2).send(1, np.zeros(10))
+        world.rank(2).send(3, np.zeros(10))
         single_round = world.estimate_time()
         world.next_round()
         world.rank(0).send(1, np.zeros(10))
         two_rounds = world.estimate_time()
         assert single_round == pytest.approx(1.0, rel=1e-6)
         assert two_rounds == pytest.approx(2.0, rel=1e-6)
+
+    def test_concurrent_messages_into_one_link_serialize(self):
+        network = NetworkModel(latency_seconds=1.0, bandwidth_bytes_per_second=1e12)
+        world = SimulatedCommunicator(3, network)
+        # Both sends land on rank 1's ingress link: they serialize, ~2 latencies.
+        world.rank(0).send(1, np.zeros(10))
+        world.rank(2).send(1, np.zeros(10))
+        assert world.estimate_time() == pytest.approx(2.0, rel=1e-6)
+
+    def test_ingress_contention_flag_restores_egress_only_model(self):
+        network = NetworkModel(
+            latency_seconds=1.0, bandwidth_bytes_per_second=1e12, ingress_contention=False
+        )
+        world = SimulatedCommunicator(3, network)
+        world.rank(0).send(1, np.zeros(10))
+        world.rank(2).send(1, np.zeros(10))
+        # Legacy model only weighs the send side: the fan-in is free.
+        assert world.estimate_time() == pytest.approx(1.0, rel=1e-6)
 
     def test_gather(self):
         world = SimulatedCommunicator(3)
